@@ -1,0 +1,282 @@
+// Package repro's bench harness regenerates every table and figure of
+// the paper (see DESIGN.md §4 for the E1-E12 experiment index and
+// EXPERIMENTS.md for paper-vs-measured outcomes). Each benchmark reports
+// the experiment's headline quantities as custom metrics so that
+// `go test -bench=. -benchmem` reproduces the evaluation in one run; the
+// cmd/puf-bench tool prints the same results as human-readable tables.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/perm"
+)
+
+// BenchmarkTableI_KendallCoding (E1) regenerates the paper's Table I:
+// compact and Kendall codings of all 24 orders of four ROs.
+func BenchmarkTableI_KendallCoding(b *testing.B) {
+	var rows []experiments.TableIRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.TableI()
+	}
+	if len(rows) != 24 {
+		b.Fatalf("%d rows", len(rows))
+	}
+	b.ReportMetric(float64(len(rows)), "rows")
+	b.ReportMetric(float64(len(rows[0].Kendall)), "kendall-bits")
+	b.ReportMetric(float64(len(rows[0].Compact)), "compact-bits")
+}
+
+// BenchmarkFig2_FrequencyTopology (E2) reproduces the Fig. 2 variance
+// decomposition: systematic trend dominates raw variance; distillation
+// reduces the residual to the random-component level.
+func BenchmarkFig2_FrequencyTopology(b *testing.B) {
+	var r experiments.Fig2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig2(uint64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.RawVariance, "raw-var-MHz2")
+	b.ReportMetric(r.ResidualVar, "resid-var-MHz2")
+	b.ReportMetric(r.RandVariance, "random-var-MHz2")
+	b.ReportMetric(r.RawVariance/r.ResidualVar, "distill-gain")
+}
+
+// BenchmarkFig3_PairClassification (E3) reproduces the Fig. 3 good /
+// bad / cooperating pair classification at the default threshold.
+func BenchmarkFig3_PairClassification(b *testing.B) {
+	var rows []experiments.Fig3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Fig3(uint64(i)+1, []float64{0.6})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Good), "good-pairs")
+	b.ReportMetric(float64(rows[0].Bad), "bad-pairs")
+	b.ReportMetric(float64(rows[0].Coop), "coop-pairs")
+}
+
+// BenchmarkFig5_FailureRatePDFs (E4) reproduces the Fig. 5 error-count
+// PDFs and their distinguishability.
+func BenchmarkFig5_FailureRatePDFs(b *testing.B) {
+	var r experiments.Fig5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig5(uint64(i)+3, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.FailNominal, "p-fail-nominal")
+	b.ReportMetric(r.FailH0, "p-fail-H0")
+	b.ReportMetric(r.FailH1, "p-fail-H1")
+	b.ReportMetric(r.TVDistance, "tv-distance")
+}
+
+// BenchmarkFig6a_GroupBasedAttack (E5/E10) runs the §VI-C full key
+// recovery on the paper's 4x10 Fig. 6 array.
+func BenchmarkFig6a_GroupBasedAttack(b *testing.B) {
+	var r experiments.GroupAttackResult
+	var err error
+	recovered := 0
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunGroupBasedAttack(uint64(i)*3 + 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Recovered {
+			recovered++
+		}
+	}
+	b.ReportMetric(float64(r.KeyBits), "key-bits")
+	b.ReportMetric(float64(r.Queries), "oracle-queries")
+	b.ReportMetric(float64(recovered)/float64(b.N), "recovery-rate")
+}
+
+// BenchmarkFig6b_MaskingAttack (E6) runs the distiller + 1-out-of-5
+// masking attack.
+func BenchmarkFig6b_MaskingAttack(b *testing.B) {
+	var r experiments.MaskingAttackSummary
+	var err error
+	recovered := 0
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunMaskingAttack(uint64(i)*3 + 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Recovered {
+			recovered++
+		}
+	}
+	b.ReportMetric(float64(r.KeyBits), "key-bits")
+	b.ReportMetric(float64(r.Queries), "oracle-queries")
+	b.ReportMetric(float64(recovered)/float64(b.N), "recovery-rate")
+}
+
+// BenchmarkFig6c_NeighborChainAttack (E7) runs the distiller +
+// overlapping chain attack with its 2^4 hypothesis sets.
+func BenchmarkFig6c_NeighborChainAttack(b *testing.B) {
+	var r experiments.ChainAttackSummary
+	var err error
+	recovered := 0
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunChainAttack(uint64(i)*3 + 13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Recovered {
+			recovered++
+		}
+	}
+	b.ReportMetric(float64(r.KeyBits), "key-bits")
+	b.ReportMetric(float64(r.MaxHypotheses), "max-hypotheses")
+	b.ReportMetric(float64(r.Queries), "oracle-queries")
+	b.ReportMetric(float64(recovered)/float64(b.N), "recovery-rate")
+}
+
+// BenchmarkAttackSeqPair (E8) runs the §VI-A key recovery end to end
+// with the expurgated code (full recovery including the complement bit).
+func BenchmarkAttackSeqPair(b *testing.B) {
+	var r experiments.SeqPairAttackSummary
+	var err error
+	recovered := 0
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunSeqPairAttack(uint64(i)*3+5, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Recovered {
+			recovered++
+		}
+	}
+	b.ReportMetric(float64(r.KeyBits), "key-bits")
+	b.ReportMetric(float64(r.Queries), "oracle-queries")
+	b.ReportMetric(float64(r.Queries)/float64(r.KeyBits), "queries-per-bit")
+	b.ReportMetric(float64(recovered)/float64(b.N), "recovery-rate")
+}
+
+// BenchmarkAttackTempCo (E9) runs the §VI-B relation recovery end to
+// end, scored against silicon ground truth.
+func BenchmarkAttackTempCo(b *testing.B) {
+	var r experiments.TempCoAttackSummary
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunTempCoAttack(uint64(i)*3 + 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.RelationsFound), "relations")
+	b.ReportMetric(float64(r.RelationsRight)/float64(r.RelationsFound), "relation-accuracy")
+	b.ReportMetric(float64(r.MaskBitsFound), "absolute-mask-bits")
+	b.ReportMetric(float64(r.Queries), "oracle-queries")
+}
+
+// BenchmarkEntropyAccounting (E11) reproduces the log2(N!) and
+// sum log2(|Gj|!) entropy figures of §II and §V-B.
+func BenchmarkEntropyAccounting(b *testing.B) {
+	var rows []experiments.EntropyRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.EntropyAccounting(uint64(i)+15, []float64{0.5})
+	}
+	b.ReportMetric(rows[0].TotalBits, "log2-N!-bits")
+	b.ReportMetric(rows[0].EntropyBits, "grouped-entropy-bits")
+	b.ReportMetric(float64(rows[0].KeyBits), "packed-key-bits")
+}
+
+// BenchmarkFuzzyExtractorResistance (E12) contrasts the attacker's
+// single-manipulation advantage on the fuzzy extractor (≈0) with the
+// LISA construction (≈1).
+func BenchmarkFuzzyExtractorResistance(b *testing.B) {
+	var r experiments.FuzzyResistanceResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.FuzzyResistance(uint64(i)*2+17, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.FuzzyAdvantage, "fuzzy-advantage")
+	b.ReportMetric(r.SeqPairAdvantage, "lisa-advantage")
+}
+
+// BenchmarkAblationStoragePolicy (A1, §VII-C) quantifies the direct
+// leakage of sorted versus randomized within-pair storage.
+func BenchmarkAblationStoragePolicy(b *testing.B) {
+	var r experiments.StorageLeakage
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.AblationStoragePolicy(uint64(i)+19, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.SortedOnesFraction, "sorted-ones-fraction")
+	b.ReportMetric(r.RandomizedOnesFraction, "randomized-ones-fraction")
+}
+
+// BenchmarkAblationStrategy (A3) compares the sequential and
+// fixed-sample distinguishers' oracle cost on the same attack.
+func BenchmarkAblationStrategy(b *testing.B) {
+	var r experiments.StrategyCost
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.AblationStrategy(uint64(i)*2 + 21)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.SequentialQueries), "sequential-queries")
+	b.ReportMetric(float64(r.FixedSampleQueries), "fixed-queries")
+}
+
+// BenchmarkEntropyLog2Factorial exercises the §II total-entropy formula
+// across array sizes (micro-benchmark supporting E11).
+func BenchmarkEntropyLog2Factorial(b *testing.B) {
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = perm.Log2Factorial(512)
+	}
+	b.ReportMetric(v, "bits-512-ROs")
+}
+
+// BenchmarkAblationOffsetSize (A4) sweeps the common offset of Fig. 5
+// from 1 to the code radius, reporting the calibrated rate separation.
+func BenchmarkAblationOffsetSize(b *testing.B) {
+	var rows []experiments.OffsetSizeRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationOffsetSize(uint64(i) + 23)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.PElevated-last.PNominal, "separation-at-t")
+	b.ReportMetric(rows[0].PElevated-rows[0].PNominal, "separation-at-1")
+	b.ReportMetric(float64(last.Queries), "queries-at-t")
+}
+
+// BenchmarkAttackSuccessRates (R1) measures exact-recovery rates of all
+// attacks over a device population.
+func BenchmarkAttackSuccessRates(b *testing.B) {
+	var r experiments.AttackSuccessRates
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.MeasureAttackSuccess(uint64(i)*997+1000, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.SeqPair, "seqpair-success")
+	b.ReportMetric(r.GroupBased, "groupbased-success")
+	b.ReportMetric(r.Masking, "masking-success")
+	b.ReportMetric(r.Chain, "chain-success")
+	b.ReportMetric(r.TempCoRel, "tempco-rel-accuracy")
+}

@@ -1,0 +1,176 @@
+// Command puf-attack runs one of the paper's four helper-data
+// manipulation attacks end to end against a freshly enrolled simulated
+// device and reports the recovery outcome and oracle cost.
+//
+// Usage:
+//
+//	puf-attack -construction seqpair|tempco|groupbased|masking|chain [-seed N] [-strategy sequential|fixed]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/ecc"
+	"repro/internal/groupbased"
+	"repro/internal/pairing"
+	"repro/internal/rng"
+	"repro/internal/tempco"
+)
+
+func main() {
+	construction := flag.String("construction", "seqpair", "target: seqpair, tempco, groupbased, masking, chain")
+	seed := flag.Uint64("seed", 1, "device manufacturing seed")
+	strategy := flag.String("strategy", "sequential", "distinguisher: sequential or fixed")
+	flag.Parse()
+
+	dist := core.DefaultDistinguisher()
+	if *strategy == "fixed" {
+		dist = core.Distinguisher{Strategy: core.FixedSample, Queries: 10}
+	}
+
+	var err error
+	switch *construction {
+	case "seqpair":
+		err = attackSeqPair(*seed, dist)
+	case "tempco":
+		err = attackTempCo(*seed, dist)
+	case "groupbased":
+		err = attackGroupBased(*seed, dist)
+	case "masking":
+		err = attackMasking(*seed, dist)
+	case "chain":
+		err = attackChain(*seed, dist)
+	default:
+		err = fmt.Errorf("unknown construction %q", *construction)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func attackSeqPair(seed uint64, dist core.Distinguisher) error {
+	d, err := device.EnrollSeqPair(device.SeqPairParams{
+		Rows: 8, Cols: 16,
+		ThresholdMHz: 0.8,
+		Policy:       pairing.RandomizedStorage,
+		Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3, Expurgate: true}),
+		EnrollReps:   20,
+	}, rng.New(seed), rng.New(seed+1))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("enrolled LISA device: %d pairs, code %s\n", d.NumPairs(), d.Code())
+	res, err := core.AttackSeqPair(d, core.SeqPairConfig{Dist: dist})
+	if err != nil {
+		return err
+	}
+	truth := d.TrueKey()
+	fmt.Printf("calibration: p(offset)=%.3f p(offset+1)=%.3f over %d queries\n",
+		res.Calibration.PNominal, res.Calibration.PElevated, res.Calibration.Queries)
+	fmt.Printf("recovered key : %s\n", res.Key)
+	fmt.Printf("true key      : %s\n", truth)
+	fmt.Printf("exact=%v ambiguous=%v, total %d oracle queries (%.1f per bit)\n",
+		res.Key.Equal(truth), res.Ambiguous, res.Queries, float64(res.Queries)/float64(truth.Len()))
+	return nil
+}
+
+func attackTempCo(seed uint64, dist core.Distinguisher) error {
+	d, err := device.EnrollTempCo(tempco.Params{
+		Rows: 8, Cols: 16,
+		ThresholdMHz: 0.6,
+		TminC:        -20, TmaxC: 80,
+		Policy:     tempco.RandomSelection,
+		Code:       ecc.MustBCH(ecc.BCHConfig{M: 6, T: 3}),
+		EnrollReps: 25,
+	}, rng.New(seed), rng.New(seed+1))
+	if err != nil {
+		return err
+	}
+	h := d.ReadHelper()
+	good, bad, coop := tempco.CountClasses(h)
+	fmt.Printf("enrolled temperature-aware device: %d good / %d bad / %d cooperating pairs\n", good, bad, coop)
+	res, err := core.AttackTempCo(d, core.TempCoConfig{Dist: dist})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reference pair       : %d\n", res.RefIdx)
+	fmt.Printf("relations recovered  : %d (skipped %d unstable at ambient)\n", len(res.XorWithRef), len(res.Skipped))
+	fmt.Printf("absolute mask bits   : %d\n", len(res.MaskBits))
+	fmt.Printf("oracle queries       : %d\n", res.Queries)
+	return nil
+}
+
+func attackGroupBased(seed uint64, dist core.Distinguisher) error {
+	d, err := device.EnrollGroupBased(groupbased.Params{
+		Rows: 4, Cols: 10,
+		Degree:       2,
+		ThresholdMHz: 0.5,
+		MaxGroupSize: 6,
+		Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
+		EnrollReps:   25,
+	}, rng.New(seed), rng.New(seed+1))
+	if err != nil {
+		return err
+	}
+	truth := d.TrueKey()
+	fmt.Printf("enrolled group-based device (Fig. 6a array): key %d bits\n", truth.Len())
+	res, err := core.AttackGroupBased(d, core.GroupBasedConfig{Dist: dist})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("groups resolved : %d/%d\n", res.Resolved, len(res.Orders))
+	fmt.Printf("recovered key   : %s\n", res.Key)
+	fmt.Printf("true key        : %s\n", truth)
+	fmt.Printf("exact=%v, %d oracle queries\n", res.Key.Equal(truth), res.Queries)
+	return nil
+}
+
+func attackMasking(seed uint64, dist core.Distinguisher) error {
+	d, err := device.EnrollDistillerPair(device.DistillerPairParams{
+		Rows: 4, Cols: 10,
+		Degree: 2, Mode: device.MaskedChain, K: 5,
+		Code:       ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
+		EnrollReps: 25,
+	}, rng.New(seed), rng.New(seed+1))
+	if err != nil {
+		return err
+	}
+	truth := d.TrueKey()
+	fmt.Printf("enrolled distiller + 1-out-of-5 masking device: key %d bits\n", truth.Len())
+	res, err := core.AttackDistillerMasking(d, core.DistillerConfig{Dist: dist})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("base-pair bits recovered: %d\n", len(res.BaseBits))
+	fmt.Printf("recovered key: %s (true %s), exact=%v, %d queries\n",
+		res.Key, truth, res.Key.Equal(truth), res.Queries)
+	return nil
+}
+
+func attackChain(seed uint64, dist core.Distinguisher) error {
+	d, err := device.EnrollDistillerPair(device.DistillerPairParams{
+		Rows: 4, Cols: 10,
+		Degree: 2, Mode: device.OverlappingChain,
+		Code:       ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
+		EnrollReps: 25,
+	}, rng.New(seed), rng.New(seed+1))
+	if err != nil {
+		return err
+	}
+	truth := d.TrueKey()
+	fmt.Printf("enrolled distiller + overlapping chain device: key %d bits\n", truth.Len())
+	res, err := core.AttackDistillerChain(d, core.DistillerConfig{Dist: dist})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("max simultaneous hypotheses: %d (Fig. 6c: 2^4)\n", res.MaxHypotheses)
+	fmt.Printf("recovered key: %s\n", res.Key)
+	fmt.Printf("true key     : %s\n", truth)
+	fmt.Printf("exact=%v, %d oracle queries\n", res.Key.Equal(truth), res.Queries)
+	return nil
+}

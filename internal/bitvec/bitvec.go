@@ -1,0 +1,316 @@
+// Package bitvec implements fixed-length bit vectors over GF(2).
+//
+// Bit vectors are the lingua franca of this repository: PUF responses,
+// ECC codewords, code-offset helper data and attack error masks are all
+// Vector values. The representation is a little-endian slice of 64-bit
+// words; bit i of the vector lives at word i/64, position i%64.
+package bitvec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vector is a fixed-length bit vector. The zero value is an empty vector.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero vector of length n. It panics if n is negative.
+func New(n int) Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return Vector{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromBits builds a vector from a slice of bits given as 0/1 bytes.
+func FromBits(bits []byte) Vector {
+	v := New(len(bits))
+	for i, b := range bits {
+		if b > 1 {
+			panic(fmt.Sprintf("bitvec: bit value %d out of range", b))
+		}
+		if b == 1 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// FromString parses a string of '0' and '1' runes, most significant first
+// in reading order: position 0 of the vector is the first rune.
+func FromString(s string) (Vector, error) {
+	v := New(len(s))
+	for i, r := range s {
+		switch r {
+		case '0':
+		case '1':
+			v.Set(i, true)
+		default:
+			return Vector{}, fmt.Errorf("bitvec: invalid character %q at %d", r, i)
+		}
+	}
+	return v, nil
+}
+
+// MustFromString is FromString that panics on error; intended for tests
+// and package-level constants.
+func MustFromString(s string) Vector {
+	v, err := FromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Len returns the number of bits.
+func (v Vector) Len() int { return v.n }
+
+// Get returns bit i.
+func (v Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i>>6]>>(uint(i)&63)&1 == 1
+}
+
+// Bit returns bit i as 0 or 1.
+func (v Vector) Bit(i int) byte {
+	if v.Get(i) {
+		return 1
+	}
+	return 0
+}
+
+// Set assigns bit i.
+func (v Vector) Set(i int, b bool) {
+	v.check(i)
+	if b {
+		v.words[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		v.words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Flip inverts bit i.
+func (v Vector) Flip(i int) {
+	v.check(i)
+	v.words[i>>6] ^= 1 << (uint(i) & 63)
+}
+
+func (v Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Clone returns an independent copy.
+func (v Vector) Clone() Vector {
+	w := Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// Xor returns v XOR u. The lengths must match.
+func (v Vector) Xor(u Vector) Vector {
+	v.sameLen(u)
+	w := v.Clone()
+	for i := range w.words {
+		w.words[i] ^= u.words[i]
+	}
+	return w
+}
+
+// XorInPlace sets v to v XOR u.
+func (v Vector) XorInPlace(u Vector) {
+	v.sameLen(u)
+	for i := range v.words {
+		v.words[i] ^= u.words[i]
+	}
+}
+
+// And returns v AND u.
+func (v Vector) And(u Vector) Vector {
+	v.sameLen(u)
+	w := v.Clone()
+	for i := range w.words {
+		w.words[i] &= u.words[i]
+	}
+	return w
+}
+
+// Not returns the bitwise complement of v.
+func (v Vector) Not() Vector {
+	w := v.Clone()
+	for i := range w.words {
+		w.words[i] = ^w.words[i]
+	}
+	w.maskTail()
+	return w
+}
+
+func (v Vector) sameLen(u Vector) {
+	if v.n != u.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, u.n))
+	}
+}
+
+// maskTail clears the unused high bits of the last word so that Weight and
+// Equal can operate word-wise.
+func (v Vector) maskTail() {
+	if v.n%64 != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << (uint(v.n) & 63)) - 1
+	}
+}
+
+// Weight returns the Hamming weight (number of set bits).
+func (v Vector) Weight() int {
+	w := 0
+	for _, word := range v.words {
+		w += popcount(word)
+	}
+	return w
+}
+
+func popcount(x uint64) int {
+	// Hacker's Delight population count; avoids importing math/bits to
+	// keep this file self-describing, and the compiler recognizes the
+	// pattern anyway.
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int(x * 0x0101010101010101 >> 56)
+}
+
+// HammingDistance returns the number of positions where v and u differ.
+func (v Vector) HammingDistance(u Vector) int {
+	v.sameLen(u)
+	d := 0
+	for i := range v.words {
+		d += popcount(v.words[i] ^ u.words[i])
+	}
+	return d
+}
+
+// Equal reports whether v and u have identical length and bits.
+func (v Vector) Equal(u Vector) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every bit is zero.
+func (v Vector) IsZero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Slice returns a copy of bits [from, to).
+func (v Vector) Slice(from, to int) Vector {
+	if from < 0 || to > v.n || from > to {
+		panic(fmt.Sprintf("bitvec: invalid slice [%d,%d) of length %d", from, to, v.n))
+	}
+	w := New(to - from)
+	for i := from; i < to; i++ {
+		if v.Get(i) {
+			w.Set(i-from, true)
+		}
+	}
+	return w
+}
+
+// Concat returns the concatenation of v followed by u.
+func (v Vector) Concat(u Vector) Vector {
+	w := New(v.n + u.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			w.Set(i, true)
+		}
+	}
+	for i := 0; i < u.n; i++ {
+		if u.Get(i) {
+			w.Set(v.n+i, true)
+		}
+	}
+	return w
+}
+
+// Bits returns the vector as a slice of 0/1 bytes.
+func (v Vector) Bits() []byte {
+	out := make([]byte, v.n)
+	for i := range out {
+		out[i] = v.Bit(i)
+	}
+	return out
+}
+
+// Bytes packs the vector into bytes, bit i at byte i/8, LSB-first within
+// each byte. The final partial byte, if any, is zero-padded.
+func (v Vector) Bytes() []byte {
+	out := make([]byte, (v.n+7)/8)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			out[i/8] |= 1 << (uint(i) & 7)
+		}
+	}
+	return out
+}
+
+// FromBytes is the inverse of Bytes for a vector of length n.
+func FromBytes(data []byte, n int) (Vector, error) {
+	if need := (n + 7) / 8; len(data) < need {
+		return Vector{}, fmt.Errorf("bitvec: need %d bytes for %d bits, have %d", need, n, len(data))
+	}
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if data[i/8]>>(uint(i)&7)&1 == 1 {
+			v.Set(i, true)
+		}
+	}
+	return v, nil
+}
+
+// Ones returns an all-ones vector of length n.
+func Ones(n int) Vector {
+	v := New(n)
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.maskTail()
+	return v
+}
+
+// String renders the vector as a string of '0' and '1', bit 0 first.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// SupportIndices returns the positions of all set bits in increasing order.
+func (v Vector) SupportIndices() []int {
+	idx := make([]int, 0, v.Weight())
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}

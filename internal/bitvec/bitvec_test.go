@@ -1,0 +1,246 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewIsZero(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 1000} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("Len = %d, want %d", v.Len(), n)
+		}
+		if !v.IsZero() || v.Weight() != 0 {
+			t.Fatalf("New(%d) not zero", n)
+		}
+	}
+}
+
+func TestSetGetFlip(t *testing.T) {
+	v := New(130)
+	v.Set(0, true)
+	v.Set(64, true)
+	v.Set(129, true)
+	for i := 0; i < 130; i++ {
+		want := i == 0 || i == 64 || i == 129
+		if v.Get(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, v.Get(i), want)
+		}
+	}
+	v.Flip(0)
+	v.Flip(1)
+	if v.Get(0) || !v.Get(1) {
+		t.Fatal("flip failed")
+	}
+	if v.Weight() != 3 {
+		t.Fatalf("weight = %d, want 3", v.Weight())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []func(){
+		func() { New(10).Get(10) },
+		func() { New(10).Get(-1) },
+		func() { New(10).Set(10, true) },
+		func() { New(0).Flip(0) },
+		func() { New(-1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestXor(t *testing.T) {
+	a := MustFromString("1100")
+	b := MustFromString("1010")
+	want := MustFromString("0110")
+	if got := a.Xor(b); !got.Equal(want) {
+		t.Fatalf("Xor = %s, want %s", got, want)
+	}
+	// a and b unchanged
+	if !a.Equal(MustFromString("1100")) || !b.Equal(MustFromString("1010")) {
+		t.Fatal("Xor mutated operand")
+	}
+	a.XorInPlace(b)
+	if !a.Equal(want) {
+		t.Fatalf("XorInPlace = %s, want %s", a, want)
+	}
+}
+
+func TestNotMasksTail(t *testing.T) {
+	v := New(65) // forces a partial tail word
+	w := v.Not()
+	if w.Weight() != 65 {
+		t.Fatalf("Not of zero vector has weight %d, want 65", w.Weight())
+	}
+	if !w.Equal(Ones(65)) {
+		t.Fatal("Not(0) != Ones")
+	}
+	if !w.Not().IsZero() {
+		t.Fatal("double Not != identity")
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := MustFromString("10110")
+	b := MustFromString("00111")
+	if d := a.HammingDistance(b); d != 2 {
+		t.Fatalf("distance = %d, want 2", d)
+	}
+	if d := a.HammingDistance(a); d != 0 {
+		t.Fatalf("self distance = %d, want 0", d)
+	}
+}
+
+func TestSliceConcat(t *testing.T) {
+	v := MustFromString("110101")
+	left := v.Slice(0, 3)
+	right := v.Slice(3, 6)
+	if left.String() != "110" || right.String() != "101" {
+		t.Fatalf("slices = %s, %s", left, right)
+	}
+	if got := left.Concat(right); !got.Equal(v) {
+		t.Fatalf("concat = %s, want %s", got, v)
+	}
+	empty := v.Slice(2, 2)
+	if empty.Len() != 0 {
+		t.Fatal("empty slice has nonzero length")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 200} {
+		v := New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, r.Bool())
+		}
+		back, err := FromBytes(v.Bytes(), n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !back.Equal(v) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestFromBytesShortInput(t *testing.T) {
+	if _, err := FromBytes([]byte{0xff}, 9); err == nil {
+		t.Fatal("expected error for short input")
+	}
+}
+
+func TestFromStringErrors(t *testing.T) {
+	if _, err := FromString("01x"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	v := MustFromString("0110010")
+	if got := FromBits(v.Bits()); !got.Equal(v) {
+		t.Fatalf("Bits round trip: %s != %s", got, v)
+	}
+}
+
+func TestSupportIndices(t *testing.T) {
+	v := MustFromString("0100101")
+	got := v.SupportIndices()
+	want := []int{1, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("support = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("support = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustFromString("1010")
+	b := a.Clone()
+	b.Flip(0)
+	if !a.Get(0) || b.Get(0) {
+		t.Fatal("clone is not independent")
+	}
+}
+
+// Property: XOR is an involution and distance is XOR weight.
+func TestXorProperties(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		n := int(size)%200 + 1
+		r := rng.New(seed)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			a.Set(i, r.Bool())
+			b.Set(i, r.Bool())
+		}
+		x := a.Xor(b)
+		return x.Xor(b).Equal(a) &&
+			x.Weight() == a.HammingDistance(b) &&
+			a.Xor(a).IsZero()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weight of v plus weight of Not(v) equals length.
+func TestNotWeightProperty(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		n := int(size)%200 + 1
+		r := rng.New(seed)
+		v := New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, r.Bool())
+		}
+		return v.Weight()+v.Not().Weight() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnd(t *testing.T) {
+	a := MustFromString("1100")
+	b := MustFromString("1010")
+	if got := a.And(b); got.String() != "1000" {
+		t.Fatalf("And = %s, want 1000", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	New(3).Xor(New(4))
+}
+
+func BenchmarkXor1024(b *testing.B) {
+	v := Ones(1024)
+	u := New(1024)
+	for i := 0; i < b.N; i++ {
+		u.XorInPlace(v)
+	}
+}
+
+func BenchmarkWeight1024(b *testing.B) {
+	v := Ones(1024)
+	for i := 0; i < b.N; i++ {
+		_ = v.Weight()
+	}
+}

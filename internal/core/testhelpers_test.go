@@ -1,0 +1,18 @@
+package core
+
+import (
+	"repro/internal/ecc"
+	"repro/internal/tempco"
+)
+
+// tempcoParams is the shared test configuration for tempco devices.
+func tempcoParams() tempco.Params {
+	return tempco.Params{
+		Rows: 8, Cols: 16,
+		ThresholdMHz: 0.6,
+		TminC:        -20, TmaxC: 80,
+		Policy:     tempco.RandomSelection,
+		Code:       ecc.MustBCH(ecc.BCHConfig{M: 6, T: 3}),
+		EnrollReps: 25,
+	}
+}

@@ -1,0 +1,51 @@
+// Package device models deployed PUF key-generation devices from the
+// attacker's point of view (the "IC" boxes of the paper's figures 4 and
+// 7): public helper NVM with full read/write access, a trigger for key
+// reconstruction, and the observable outcome of the key-dependent
+// application.
+//
+// The observable follows the paper's assumption verbatim: "an inability
+// to reconstruct the key should affect the observable behavior of any
+// useful application". App() therefore returns false when reconstruction
+// errors out OR when the reconstructed key differs from the enrolled
+// reference key the application's data is bound to. Every App() call
+// consumes fresh measurement noise and increments the query counter the
+// attack-cost experiments report.
+package device
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/silicon"
+)
+
+// Device is the common attacker-visible surface. Construction-specific
+// helper types are exposed by the concrete device types; this interface
+// carries the query bookkeeping shared by all of them.
+type Device interface {
+	// App triggers one key reconstruction and reports whether the
+	// key-dependent application behaves correctly.
+	App() bool
+	// Queries returns the number of App calls so far.
+	Queries() int
+	// Environment returns the current operating condition.
+	Environment() silicon.Environment
+	// SetEnvironment changes the operating condition (the attacker may
+	// control ambient temperature in lab conditions; attacks that do
+	// not assume this leave it untouched).
+	SetEnvironment(env silicon.Environment)
+}
+
+// base carries the bookkeeping shared by every concrete device.
+type base struct {
+	env     silicon.Environment
+	queries int
+}
+
+func (b *base) Queries() int { return b.queries }
+
+func (b *base) Environment() silicon.Environment { return b.env }
+
+func (b *base) SetEnvironment(env silicon.Environment) { b.env = env }
+
+// keysEqual compares a reconstructed key against the enrolled reference.
+func keysEqual(a, b bitvec.Vector) bool { return a.Equal(b) }

@@ -1,0 +1,241 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/ecc"
+	"repro/internal/fuzzy"
+	"repro/internal/groupbased"
+	"repro/internal/pairing"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+	"repro/internal/tempco"
+)
+
+func seqParams() SeqPairParams {
+	return SeqPairParams{
+		Rows: 8, Cols: 16,
+		ThresholdMHz: 0.5,
+		Policy:       pairing.RandomizedStorage,
+		Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
+		EnrollReps:   20,
+	}
+}
+
+func TestSeqPairDeviceHonestApp(t *testing.T) {
+	d, err := EnrollSeqPair(seqParams(), rng.New(1), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for i := 0; i < 20; i++ {
+		if d.App() {
+			ok++
+		}
+	}
+	if ok < 18 {
+		t.Fatalf("honest app succeeded only %d/20", ok)
+	}
+	if d.Queries() != 20 {
+		t.Fatalf("queries %d", d.Queries())
+	}
+}
+
+func TestSeqPairDeviceRejectsMalformedWrites(t *testing.T) {
+	d, err := EnrollSeqPair(seqParams(), rng.New(3), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := d.ReadHelper()
+	bad := h
+	bad.Pairs = pairing.SeqPairHelper{Pairs: []pairing.Pair{{A: 0, B: 0}}}
+	if err := d.WriteHelper(bad); err == nil {
+		t.Error("reused oscillator must be rejected")
+	}
+	bad2 := h
+	bad2.Offset = bitvec.New(3)
+	if err := d.WriteHelper(bad2); err == nil {
+		t.Error("wrong offset length must be rejected")
+	}
+}
+
+func TestSeqPairSwapManipulationBehaviour(t *testing.T) {
+	// Within-pair swap of exactly one pair: 1 error, within the radius,
+	// app still works. Within-pair swaps of t+1 pairs: app fails.
+	d, err := EnrollSeqPair(seqParams(), rng.New(5), rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := d.ReadHelper()
+	tcap := d.Code().T()
+	if d.NumPairs() < tcap+2 {
+		t.Skip("not enough pairs")
+	}
+
+	one := d.ReadHelper()
+	one.Pairs.Pairs[0] = one.Pairs.Pairs[0].Swapped()
+	if err := d.WriteHelper(one); err != nil {
+		t.Fatal(err)
+	}
+	okOne := 0
+	for i := 0; i < 10; i++ {
+		if d.App() {
+			okOne++
+		}
+	}
+
+	many := d.ReadHelper()
+	copy(many.Pairs.Pairs, h.Pairs.Pairs)
+	for i := 0; i <= tcap; i++ {
+		many.Pairs.Pairs[i] = many.Pairs.Pairs[i].Swapped()
+	}
+	if err := d.WriteHelper(many); err != nil {
+		t.Fatal(err)
+	}
+	okMany := 0
+	for i := 0; i < 10; i++ {
+		if d.App() {
+			okMany++
+		}
+	}
+	if okOne < 8 {
+		t.Errorf("single swap: app worked only %d/10 (should be within radius)", okOne)
+	}
+	if okMany > 2 {
+		t.Errorf("t+1 swaps: app worked %d/10 (should fail)", okMany)
+	}
+}
+
+func TestTempCoDevice(t *testing.T) {
+	p := tempco.Params{
+		Rows: 8, Cols: 16,
+		ThresholdMHz: 0.6,
+		TminC:        -20, TmaxC: 80,
+		Policy:     tempco.RandomSelection,
+		Code:       ecc.MustBCH(ecc.BCHConfig{M: 6, T: 3}),
+		EnrollReps: 25,
+	}
+	d, err := EnrollTempCo(p, rng.New(7), rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for i := 0; i < 10; i++ {
+		if d.App() {
+			ok++
+		}
+	}
+	if ok < 8 {
+		t.Fatalf("honest app %d/10", ok)
+	}
+	// Environment change within range keeps it alive.
+	d.SetEnvironment(silicon.Environment{TempC: 60, VoltageV: 1.2})
+	ok = 0
+	for i := 0; i < 10; i++ {
+		if d.App() {
+			ok++
+		}
+	}
+	if ok < 7 {
+		t.Fatalf("warm app %d/10", ok)
+	}
+	h := d.ReadHelper()
+	if err := d.WriteHelper(h); err != nil {
+		t.Fatalf("writing back own helper failed: %v", err)
+	}
+}
+
+func TestGroupBasedDeviceRebinding(t *testing.T) {
+	p := groupbased.Params{
+		Rows: 8, Cols: 16,
+		Degree:       2,
+		ThresholdMHz: 0.4,
+		Code:         ecc.MustBCH(ecc.BCHConfig{M: 6, T: 3}),
+		EnrollReps:   15,
+	}
+	d, err := EnrollGroupBased(p, rng.New(9), rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.App() {
+		t.Fatal("honest app failed")
+	}
+	// Write back the same helper: rebinding to the same key keeps the
+	// app working.
+	if err := d.WriteHelper(d.ReadHelper()); err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for i := 0; i < 10; i++ {
+		if d.App() {
+			ok++
+		}
+	}
+	if ok < 8 {
+		t.Fatalf("app after rewrite %d/10", ok)
+	}
+	if !d.TrueKey().Equal(d.TrueKey()) {
+		t.Fatal("TrueKey not stable")
+	}
+}
+
+func TestDistillerPairDeviceModes(t *testing.T) {
+	for _, mode := range []PairingMode{MaskedChain, OverlappingChain} {
+		p := DistillerPairParams{
+			Rows: 4, Cols: 10, // the paper's Fig. 6 array
+			Degree:     2,
+			Mode:       mode,
+			K:          5,
+			Code:       ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
+			EnrollReps: 15,
+		}
+		d, err := EnrollDistillerPair(p, rng.New(11), rng.New(12))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		ok := 0
+		for i := 0; i < 10; i++ {
+			if d.App() {
+				ok++
+			}
+		}
+		if ok < 8 {
+			t.Fatalf("%v: honest app %d/10", mode, ok)
+		}
+		if mode == MaskedChain && len(d.ReadHelper().Masking.Selected) == 0 {
+			t.Fatalf("%v: no masking selections", mode)
+		}
+		if mode == OverlappingChain && len(d.BasePairs()) != 39 {
+			t.Fatalf("%v: %d base pairs, want 39", mode, len(d.BasePairs()))
+		}
+	}
+}
+
+func TestFuzzyDeviceResistsManipulationSideChannel(t *testing.T) {
+	p := FuzzyParams{
+		Rows: 4, Cols: 10,
+		Extractor:  fuzzy.Params{Code: ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3})},
+		EnrollReps: 20,
+	}
+	d, err := EnrollFuzzy(p, rng.New(13), rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok := d.App(); !ok {
+		t.Fatal("honest app failed")
+	}
+	// An in-radius helper manipulation makes the app fail ALWAYS,
+	// independent of response bit values (key becomes hash of shifted
+	// response).
+	h := d.ReadHelper()
+	h.W.Flip(0)
+	if err := d.WriteHelper(h); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if d.App() {
+			t.Fatal("manipulated fuzzy helper still derived the enrolled key")
+		}
+	}
+}

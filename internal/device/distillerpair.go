@@ -1,0 +1,207 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/distiller"
+	"repro/internal/ecc"
+	"repro/internal/pairing"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+)
+
+// PairingMode selects the pair-selection scheme combined with the
+// entropy distiller (paper §VI-D considers both).
+type PairingMode int
+
+const (
+	// MaskedChain is 1-out-of-k masking applied to a disjoint neighbor
+	// chain (Fig. 6b).
+	MaskedChain PairingMode = iota
+	// OverlappingChain is the N-1-pair overlapping neighbor chain
+	// (Fig. 6c).
+	OverlappingChain
+)
+
+// String implements fmt.Stringer.
+func (m PairingMode) String() string {
+	switch m {
+	case MaskedChain:
+		return "masked-chain"
+	case OverlappingChain:
+		return "overlapping-chain"
+	}
+	return fmt.Sprintf("PairingMode(%d)", int(m))
+}
+
+// DistillerPairParams configures a distiller + pairing device.
+type DistillerPairParams struct {
+	Rows, Cols int
+	Degree     int
+	Mode       PairingMode
+	// K is the masking group size (MaskedChain only).
+	K          int
+	Code       ecc.Code
+	EnrollReps int
+}
+
+// DistillerPairHelperNVM is the complete helper NVM of the construction:
+// distiller coefficients, the masking selections (MaskedChain mode), and
+// the ECC offset.
+type DistillerPairHelperNVM struct {
+	Poly    distiller.Poly2D
+	Masking pairing.MaskingHelper // zero value in OverlappingChain mode
+	Offset  bitvec.Vector
+}
+
+// DistillerPairDevice runs an entropy distiller in front of a classic
+// pairing scheme — the DAC 2013 distiller proposal composed per §VI-D.
+// Like GroupBasedDevice it uses the reprogrammed-key observable.
+type DistillerPairDevice struct {
+	base
+	arr      *silicon.Array
+	params   DistillerPairParams
+	basePair []pairing.Pair // fixed by the architecture, not helper data
+	nvm      DistillerPairHelperNVM
+	enrolled bitvec.Vector
+	bound    bitvec.Vector
+	src      *rng.Source
+}
+
+// EnrollDistillerPair manufactures and enrolls a device.
+func EnrollDistillerPair(p DistillerPairParams, srcMfg, srcRun *rng.Source) (*DistillerPairDevice, error) {
+	if p.Code == nil || p.EnrollReps < 1 {
+		return nil, fmt.Errorf("device: invalid distiller-pair params")
+	}
+	arr := silicon.NewArray(silicon.DefaultConfig(p.Rows, p.Cols), srcMfg)
+	env := arr.Config().NominalEnv()
+	f := arr.MeasureAveraged(env, srcRun, p.EnrollReps)
+	poly, err := distiller.Fit(p.Rows, p.Cols, f, p.Degree)
+	if err != nil {
+		return nil, err
+	}
+	resid := distiller.Distill(p.Rows, p.Cols, f, poly)
+
+	d := &DistillerPairDevice{
+		base:   base{env: env},
+		arr:    arr,
+		params: p,
+		src:    srcRun,
+	}
+	var mask pairing.MaskingHelper
+	switch p.Mode {
+	case MaskedChain:
+		d.basePair = pairing.ChainPairs(p.Rows, p.Cols, true)
+		mask, err = pairing.EnrollMasking(resid, d.basePair, p.K)
+		if err != nil {
+			return nil, err
+		}
+	case OverlappingChain:
+		d.basePair = pairing.ChainPairs(p.Rows, p.Cols, false)
+	default:
+		return nil, fmt.Errorf("device: unknown pairing mode %v", p.Mode)
+	}
+	resp, err := d.response(resid, mask)
+	if err != nil {
+		return nil, err
+	}
+	padded, blocks := padToBlocks(resp, p.Code)
+	block := ecc.NewBlock(p.Code, blocks)
+	off := ecc.EnrollOffset(block, padded, srcRun)
+	d.nvm = DistillerPairHelperNVM{Poly: poly, Masking: mask, Offset: off.W}
+	d.enrolled = resp
+	d.bound = resp
+	return d, nil
+}
+
+// response evaluates the construction's response bits for a residual
+// snapshot under the given masking helper.
+func (d *DistillerPairDevice) response(resid []float64, mask pairing.MaskingHelper) (bitvec.Vector, error) {
+	switch d.params.Mode {
+	case MaskedChain:
+		sel, err := mask.SelectedPairs(d.basePair)
+		if err != nil {
+			return bitvec.Vector{}, err
+		}
+		return pairing.Responses(resid, sel), nil
+	default:
+		return pairing.Responses(resid, d.basePair), nil
+	}
+}
+
+// BasePairs returns the architecture's fixed pair list (public).
+func (d *DistillerPairDevice) BasePairs() []pairing.Pair {
+	return append([]pairing.Pair(nil), d.basePair...)
+}
+
+// ReadHelper returns a deep copy of the helper NVM.
+func (d *DistillerPairDevice) ReadHelper() DistillerPairHelperNVM {
+	return DistillerPairHelperNVM{
+		Poly:    clonePoly(d.nvm.Poly),
+		Masking: pairing.MaskingHelper{K: d.nvm.Masking.K, Selected: append([]int(nil), d.nvm.Masking.Selected...)},
+		Offset:  d.nvm.Offset.Clone(),
+	}
+}
+
+// WriteHelper overwrites the helper NVM after structural validation and
+// re-binds the application key as in GroupBasedDevice.
+func (d *DistillerPairDevice) WriteHelper(h DistillerPairHelperNVM) error {
+	if d.params.Mode == MaskedChain {
+		if _, err := h.Masking.SelectedPairs(d.basePair); err != nil {
+			return err
+		}
+	}
+	if h.Offset.Len() != d.nvm.Offset.Len() {
+		return fmt.Errorf("device: offset length %d, want %d", h.Offset.Len(), d.nvm.Offset.Len())
+	}
+	d.nvm = DistillerPairHelperNVM{
+		Poly:    clonePoly(h.Poly),
+		Masking: pairing.MaskingHelper{K: h.Masking.K, Selected: append([]int(nil), h.Masking.Selected...)},
+		Offset:  h.Offset.Clone(),
+	}
+	if key, err := d.reconstruct(); err == nil {
+		d.bound = key
+	} else {
+		d.bound = bitvec.Vector{}
+	}
+	return nil
+}
+
+// BindKey binds the application to a predicted key.
+func (d *DistillerPairDevice) BindKey(key bitvec.Vector) { d.bound = key.Clone() }
+
+func (d *DistillerPairDevice) reconstruct() (bitvec.Vector, error) {
+	f := d.arr.MeasureAll(d.env, d.src)
+	resid := distiller.Distill(d.params.Rows, d.params.Cols, f, d.nvm.Poly)
+	resp, err := d.response(resid, d.nvm.Masking)
+	if err != nil {
+		return bitvec.Vector{}, err
+	}
+	padded, blocks := padToBlocks(resp, d.params.Code)
+	if padded.Len() != d.nvm.Offset.Len() {
+		return bitvec.Vector{}, fmt.Errorf("device: offset/stream mismatch")
+	}
+	block := ecc.NewBlock(d.params.Code, blocks)
+	recovered, _, ok := ecc.Reproduce(block, ecc.Offset{W: d.nvm.Offset}, padded)
+	if !ok {
+		return bitvec.Vector{}, fmt.Errorf("device: ECC failure")
+	}
+	return recovered.Slice(0, resp.Len()), nil
+}
+
+// App reconstructs and compares against the bound key.
+func (d *DistillerPairDevice) App() bool {
+	d.queries++
+	got, err := d.reconstruct()
+	return err == nil && d.bound.Len() > 0 && keysEqual(got, d.bound)
+}
+
+// TrueKey returns the original enrolled key (evaluation-only).
+func (d *DistillerPairDevice) TrueKey() bitvec.Vector { return d.enrolled.Clone() }
+
+// Params exposes the public device specification.
+func (d *DistillerPairDevice) Params() DistillerPairParams { return d.params }
+
+// Array exposes the silicon for ground-truth evaluation only.
+func (d *DistillerPairDevice) Array() *silicon.Array { return d.arr }

@@ -1,0 +1,87 @@
+package device
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/ecc"
+	"repro/internal/fuzzy"
+	"repro/internal/pairing"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+)
+
+// FuzzyDevice is the reference construction of the paper's Fig. 7: a
+// plain RO response (overlapping neighbor chain) fed into a fuzzy
+// extractor. It serves as the control group for experiment E12 — the
+// same manipulation surface, but no usable failure-rate side channel.
+type FuzzyDevice struct {
+	base
+	arr    *silicon.Array
+	params FuzzyParams
+	pairs  []pairing.Pair
+	nvm    fuzzy.Helper
+	key    []byte
+	src    *rng.Source
+}
+
+// FuzzyParams configures a fuzzy-extractor device.
+type FuzzyParams struct {
+	Rows, Cols int
+	Extractor  fuzzy.Params
+	EnrollReps int
+}
+
+// EnrollFuzzy manufactures and enrolls a device.
+func EnrollFuzzy(p FuzzyParams, srcMfg, srcRun *rng.Source) (*FuzzyDevice, error) {
+	if p.EnrollReps < 1 {
+		return nil, fmt.Errorf("device: enrollment reps %d < 1", p.EnrollReps)
+	}
+	arr := silicon.NewArray(silicon.DefaultConfig(p.Rows, p.Cols), srcMfg)
+	env := arr.Config().NominalEnv()
+	pairs := pairing.ChainPairs(p.Rows, p.Cols, false)
+	f := arr.MeasureAveraged(env, srcRun, p.EnrollReps)
+	resp := pairing.Responses(f, pairs)
+	h, key, err := fuzzy.Enroll(resp, p.Extractor, srcRun)
+	if err != nil {
+		return nil, err
+	}
+	return &FuzzyDevice{
+		base:   base{env: env},
+		arr:    arr,
+		params: p,
+		pairs:  pairs,
+		nvm:    h,
+		key:    key,
+		src:    srcRun,
+	}, nil
+}
+
+// ReadHelper returns a deep copy of the helper NVM.
+func (d *FuzzyDevice) ReadHelper() fuzzy.Helper {
+	return fuzzy.Helper{W: d.nvm.W.Clone(), Tag: append([]byte(nil), d.nvm.Tag...)}
+}
+
+// WriteHelper overwrites the helper NVM.
+func (d *FuzzyDevice) WriteHelper(h fuzzy.Helper) error {
+	if h.W.Len() != d.nvm.W.Len() {
+		return fmt.Errorf("device: helper length %d, want %d", h.W.Len(), d.nvm.W.Len())
+	}
+	d.nvm = fuzzy.Helper{W: h.W.Clone(), Tag: append([]byte(nil), h.Tag...)}
+	return nil
+}
+
+// App reconstructs and compares against the enrolled key.
+func (d *FuzzyDevice) App() bool {
+	d.queries++
+	f := d.arr.MeasureAll(d.env, d.src)
+	resp := pairing.Responses(f, d.pairs)
+	got, err := fuzzy.Reconstruct(resp, d.params.Extractor, d.nvm)
+	return err == nil && bytes.Equal(got, d.key)
+}
+
+// TrueKey returns the enrolled key (evaluation-only).
+func (d *FuzzyDevice) TrueKey() []byte { return append([]byte(nil), d.key...) }
+
+// Code exposes the ECC of the extractor (public specification).
+func (d *FuzzyDevice) Code() ecc.Code { return d.params.Extractor.Code }

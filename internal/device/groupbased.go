@@ -1,0 +1,124 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/distiller"
+	"repro/internal/groupbased"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+)
+
+// GroupBasedDevice is a deployed group-based RO PUF (Fig. 4).
+//
+// Its observable differs from the pair-based devices in one respect the
+// paper makes explicit: the attack REPROGRAMS the key, and "their
+// reconstruction failures [are assumed] to be observable" — think of a
+// device that re-encrypts known data under whatever key it regenerates.
+// App therefore reports reconstruction success against the key bound at
+// the LAST successful helper write (the attacker's predicted key), not
+// against the original enrollment. AppOriginal preserves the strict
+// matches-enrollment observable for honest-use experiments.
+type GroupBasedDevice struct {
+	base
+	arr    *silicon.Array
+	params groupbased.Params
+	nvm    groupbased.Helper
+	// enrolled is the original key; bound is the key the application
+	// currently operates with (re-provisioned after a key change, the
+	// paper's "maliciously reprogrammed keys" scenario).
+	enrolled bitvec.Vector
+	bound    bitvec.Vector
+	src      *rng.Source
+}
+
+// EnrollGroupBased manufactures and enrolls a device.
+func EnrollGroupBased(p groupbased.Params, srcMfg, srcRun *rng.Source) (*GroupBasedDevice, error) {
+	arr := silicon.NewArray(silicon.DefaultConfig(p.Rows, p.Cols), srcMfg)
+	h, key, err := groupbased.Enroll(arr, p, srcRun)
+	if err != nil {
+		return nil, err
+	}
+	return &GroupBasedDevice{
+		base:     base{env: arr.Config().NominalEnv()},
+		arr:      arr,
+		params:   p,
+		nvm:      h,
+		enrolled: key,
+		bound:    key,
+		src:      srcRun,
+	}, nil
+}
+
+// ReadHelper returns a deep copy of the helper NVM.
+func (d *GroupBasedDevice) ReadHelper() groupbased.Helper {
+	return groupbased.Helper{
+		Poly:     clonePoly(d.nvm.Poly),
+		Grouping: groupbased.Grouping{Assign: append([]int(nil), d.nvm.Grouping.Assign...)},
+		Offset:   d.nvm.Offset.Clone(),
+	}
+}
+
+// WriteHelper overwrites the helper NVM after the honest device's
+// structural validation, and re-binds the application key: the next
+// successful reconstruction defines what the application data is
+// encrypted under (the re-provisioning step of the reprogrammed-key
+// scenario).
+func (d *GroupBasedDevice) WriteHelper(h groupbased.Helper) error {
+	if err := h.Grouping.Validate(d.arr.N()); err != nil {
+		return err
+	}
+	if h.Offset.Len()%d.params.Code.N() != 0 || h.Offset.Len() == 0 {
+		return fmt.Errorf("device: offset length %d not a block multiple", h.Offset.Len())
+	}
+	d.nvm = groupbased.Helper{
+		Poly:     clonePoly(h.Poly),
+		Grouping: groupbased.Grouping{Assign: append([]int(nil), h.Grouping.Assign...)},
+		Offset:   h.Offset.Clone(),
+	}
+	// Re-provision: bind the application to the key the new helper
+	// produces, using a fresh reconstruction. A failed reconstruction
+	// leaves the binding unusable (zero-length), so every App fails
+	// until a working helper is written — observable either way.
+	if key, err := groupbased.Reconstruct(d.arr, d.params, d.nvm, d.env, d.src); err == nil {
+		d.bound = key
+	} else {
+		d.bound = bitvec.Vector{}
+	}
+	return nil
+}
+
+// BindKey lets the attacker bind the application to a predicted key
+// directly (e.g. by presenting data encrypted under it), the cleanest
+// reading of the paper's reprogrammed-key observable.
+func (d *GroupBasedDevice) BindKey(key bitvec.Vector) { d.bound = key.Clone() }
+
+// App reconstructs with the current helper and compares against the
+// currently bound application key.
+func (d *GroupBasedDevice) App() bool {
+	d.queries++
+	got, err := groupbased.Reconstruct(d.arr, d.params, d.nvm, d.env, d.src)
+	return err == nil && d.bound.Len() > 0 && keysEqual(got, d.bound)
+}
+
+// AppOriginal is the honest observable: reconstruction must match the
+// original enrollment key.
+func (d *GroupBasedDevice) AppOriginal() bool {
+	d.queries++
+	got, err := groupbased.Reconstruct(d.arr, d.params, d.nvm, d.env, d.src)
+	return err == nil && keysEqual(got, d.enrolled)
+}
+
+// TrueKey returns the original enrolled key (evaluation-only).
+func (d *GroupBasedDevice) TrueKey() bitvec.Vector { return d.enrolled.Clone() }
+
+// Params exposes the public device specification.
+func (d *GroupBasedDevice) Params() groupbased.Params { return d.params }
+
+// Array exposes the silicon for ground-truth evaluation only.
+func (d *GroupBasedDevice) Array() *silicon.Array { return d.arr }
+
+func clonePoly(p distiller.Poly2D) distiller.Poly2D {
+	return distiller.Poly2D{P: p.P, Beta: append([]float64(nil), p.Beta...)}
+}

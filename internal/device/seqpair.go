@@ -1,0 +1,131 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/ecc"
+	"repro/internal/pairing"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+)
+
+// SeqPairParams configures a sequential-pairing (LISA) device.
+type SeqPairParams struct {
+	Rows, Cols   int
+	ThresholdMHz float64
+	Policy       pairing.StoragePolicy
+	Code         ecc.Code
+	EnrollReps   int
+}
+
+// SeqPairHelperNVM is the construction's complete helper NVM content.
+type SeqPairHelperNVM struct {
+	Pairs  pairing.SeqPairHelper
+	Offset bitvec.Vector
+}
+
+// SeqPairDevice is a deployed LISA device.
+type SeqPairDevice struct {
+	base
+	arr    *silicon.Array
+	params SeqPairParams
+	nvm    SeqPairHelperNVM
+	key    bitvec.Vector // enrolled key (secret, drives the observable)
+	src    *rng.Source
+}
+
+// EnrollSeqPair manufactures and enrolls a device. srcMfg drives
+// manufacturing variability, srcRun drives enrollment noise, helper
+// randomization and all subsequent reconstruction noise.
+func EnrollSeqPair(p SeqPairParams, srcMfg, srcRun *rng.Source) (*SeqPairDevice, error) {
+	if p.Code == nil || p.EnrollReps < 1 {
+		return nil, fmt.Errorf("device: invalid seqpair params %+v", p)
+	}
+	arr := silicon.NewArray(silicon.DefaultConfig(p.Rows, p.Cols), srcMfg)
+	env := arr.Config().NominalEnv()
+	f := arr.MeasureAveraged(env, srcRun, p.EnrollReps)
+	helper := pairing.EnrollSeqPair(f, p.ThresholdMHz, p.Policy, srcRun)
+	if len(helper.Pairs) == 0 {
+		return nil, fmt.Errorf("device: enrollment selected no pairs (threshold %v too high)", p.ThresholdMHz)
+	}
+	resp := pairing.Responses(f, helper.Pairs)
+	padded, blocks := padToBlocks(resp, p.Code)
+	block := ecc.NewBlock(p.Code, blocks)
+	off := ecc.EnrollOffset(block, padded, srcRun)
+	d := &SeqPairDevice{
+		base:   base{env: env},
+		arr:    arr,
+		params: p,
+		nvm:    SeqPairHelperNVM{Pairs: helper, Offset: off.W},
+		key:    resp,
+		src:    srcRun,
+	}
+	return d, nil
+}
+
+// ReadHelper returns a deep copy of the helper NVM (attacker read access).
+func (d *SeqPairDevice) ReadHelper() SeqPairHelperNVM {
+	return SeqPairHelperNVM{
+		Pairs:  pairing.SeqPairHelper{Pairs: append([]pairing.Pair(nil), d.nvm.Pairs.Pairs...)},
+		Offset: d.nvm.Offset.Clone(),
+	}
+}
+
+// WriteHelper overwrites the helper NVM (attacker write access). The
+// device applies its structural sanity checks at write time and rejects
+// malformed content; the paper's attacks pass these checks by design.
+func (d *SeqPairDevice) WriteHelper(h SeqPairHelperNVM) error {
+	if err := h.Pairs.Validate(d.arr.N()); err != nil {
+		return err
+	}
+	if h.Offset.Len() != d.nvm.Offset.Len() {
+		return fmt.Errorf("device: offset length %d, want %d", h.Offset.Len(), d.nvm.Offset.Len())
+	}
+	d.nvm = SeqPairHelperNVM{
+		Pairs:  pairing.SeqPairHelper{Pairs: append([]pairing.Pair(nil), h.Pairs.Pairs...)},
+		Offset: h.Offset.Clone(),
+	}
+	return nil
+}
+
+// NumPairs returns the enrolled pair count (public: it is the helper
+// list's length).
+func (d *SeqPairDevice) NumPairs() int { return len(d.nvm.Pairs.Pairs) }
+
+// Code exposes the ECC parameters (public device specification).
+func (d *SeqPairDevice) Code() ecc.Code { return d.params.Code }
+
+// App reconstructs the key from current NVM and fresh measurements and
+// compares it with the enrolled reference.
+func (d *SeqPairDevice) App() bool {
+	d.queries++
+	f := d.arr.MeasureAll(d.env, d.src)
+	resp := pairing.Responses(f, d.nvm.Pairs.Pairs)
+	if resp.Len() != d.key.Len() {
+		return false
+	}
+	padded, blocks := padToBlocks(resp, d.params.Code)
+	if padded.Len() != d.nvm.Offset.Len() {
+		return false
+	}
+	block := ecc.NewBlock(d.params.Code, blocks)
+	recovered, _, ok := ecc.Reproduce(block, ecc.Offset{W: d.nvm.Offset}, padded)
+	if !ok {
+		return false
+	}
+	return keysEqual(recovered.Slice(0, d.key.Len()), d.key)
+}
+
+// TrueKey returns the enrolled key. Evaluation-only: attacks never call
+// it; benches use it to score recovery.
+func (d *SeqPairDevice) TrueKey() bitvec.Vector { return d.key.Clone() }
+
+func padToBlocks(resp bitvec.Vector, code ecc.Code) (bitvec.Vector, int) {
+	n := code.N()
+	blocks := (resp.Len() + n - 1) / n
+	if blocks == 0 {
+		blocks = 1
+	}
+	return resp.Concat(bitvec.New(blocks*n - resp.Len())), blocks
+}

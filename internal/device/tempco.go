@@ -1,0 +1,82 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+	"repro/internal/tempco"
+)
+
+// TempCoDevice is a deployed temperature-aware cooperative RO PUF.
+type TempCoDevice struct {
+	base
+	arr    *silicon.Array
+	params tempco.Params
+	nvm    tempco.Helper
+	key    bitvec.Vector
+	src    *rng.Source
+}
+
+// EnrollTempCo manufactures and enrolls a device. The silicon config gets
+// a widened temperature-slope spread so the cooperating population is
+// non-trivial, mirroring the operating conditions the HOST 2009 proposal
+// targets.
+func EnrollTempCo(p tempco.Params, srcMfg, srcRun *rng.Source) (*TempCoDevice, error) {
+	cfg := silicon.DefaultConfig(p.Rows, p.Cols)
+	cfg.TempCoefSigmaMHzPerC = 0.03
+	arr := silicon.NewArray(cfg, srcMfg)
+	h, key, err := tempco.Enroll(arr, p, srcRun)
+	if err != nil {
+		return nil, err
+	}
+	return &TempCoDevice{
+		base:   base{env: cfg.NominalEnv()},
+		arr:    arr,
+		params: p,
+		nvm:    h,
+		key:    key,
+		src:    srcRun,
+	}, nil
+}
+
+// ReadHelper returns a deep copy of the helper NVM.
+func (d *TempCoDevice) ReadHelper() tempco.Helper {
+	return tempco.Helper{
+		Pairs:  append([]tempco.PairInfo(nil), d.nvm.Pairs...),
+		Offset: d.nvm.Offset.Clone(),
+	}
+}
+
+// WriteHelper overwrites the helper NVM after structural validation.
+func (d *TempCoDevice) WriteHelper(h tempco.Helper) error {
+	if err := tempco.ValidateHelper(h, d.arr.N()); err != nil {
+		return err
+	}
+	if h.Offset.Len() != d.nvm.Offset.Len() {
+		return fmt.Errorf("device: offset length %d, want %d", h.Offset.Len(), d.nvm.Offset.Len())
+	}
+	d.nvm = tempco.Helper{
+		Pairs:  append([]tempco.PairInfo(nil), h.Pairs...),
+		Offset: h.Offset.Clone(),
+	}
+	return nil
+}
+
+// App reconstructs at the current ambient temperature and compares with
+// the enrolled key.
+func (d *TempCoDevice) App() bool {
+	d.queries++
+	got, err := tempco.Reconstruct(d.arr, d.params, d.nvm, d.env, d.src)
+	return err == nil && keysEqual(got, d.key)
+}
+
+// TrueKey returns the enrolled key (evaluation-only).
+func (d *TempCoDevice) TrueKey() bitvec.Vector { return d.key.Clone() }
+
+// Params exposes the public device specification.
+func (d *TempCoDevice) Params() tempco.Params { return d.params }
+
+// Array exposes the silicon instance for ground-truth evaluation only.
+func (d *TempCoDevice) Array() *silicon.Array { return d.arr }

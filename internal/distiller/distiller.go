@@ -1,0 +1,243 @@
+// Package distiller implements the regression-based entropy distiller of
+// Yin & Qu (DAC 2013), the building block the paper attacks in Sections
+// V-A and VI-C/D. The distiller models systematic (spatially correlated)
+// manufacturing variation of the RO frequency map f(x, y) as a bivariate
+// polynomial of degree p, fitted least-squares at enrollment; the
+// coefficients are public helper data, and every key regeneration
+// subtracts the polynomial to keep only the random residuals.
+//
+// Because the coefficients live in attacker-writable NVM, an attacker can
+// superimpose an arbitrary steep pattern onto the fitted surface and
+// overshadow the random variation — the core of the paper's entropy-
+// distiller attacks. The pattern constructors used by those attacks
+// (tilted planes, quadratic valleys) live here too.
+package distiller
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Poly2D is a bivariate polynomial sum_{i=0..P} sum_{j=0..i}
+// beta[i,j] * x^(i-j) * y^j, exactly the expression in paper §V-A. The
+// coefficient for (i, j) is stored at Beta[i*(i+1)/2 + j].
+type Poly2D struct {
+	P    int
+	Beta []float64
+}
+
+// NumTerms returns the coefficient count of a degree-p polynomial,
+// (p+1)(p+2)/2.
+func NumTerms(p int) int { return (p + 1) * (p + 2) / 2 }
+
+// NewPoly2D returns the zero polynomial of degree p.
+func NewPoly2D(p int) Poly2D {
+	if p < 0 {
+		panic("distiller: negative degree")
+	}
+	return Poly2D{P: p, Beta: make([]float64, NumTerms(p))}
+}
+
+// term returns the flat index of coefficient (i, j).
+func term(i, j int) int { return i*(i+1)/2 + j }
+
+// Coeff returns beta[i,j]. It panics outside the triangle j <= i <= P.
+func (q Poly2D) Coeff(i, j int) float64 {
+	q.checkIJ(i, j)
+	return q.Beta[term(i, j)]
+}
+
+// SetCoeff assigns beta[i,j].
+func (q *Poly2D) SetCoeff(i, j int, v float64) {
+	q.checkIJ(i, j)
+	q.Beta[term(i, j)] = v
+}
+
+func (q Poly2D) checkIJ(i, j int) {
+	if i < 0 || i > q.P || j < 0 || j > i {
+		panic(fmt.Sprintf("distiller: coefficient (%d,%d) outside degree-%d triangle", i, j, q.P))
+	}
+}
+
+// Eval evaluates the polynomial at (x, y).
+func (q Poly2D) Eval(x, y float64) float64 {
+	var s float64
+	for i := 0; i <= q.P; i++ {
+		for j := 0; j <= i; j++ {
+			s += q.Beta[term(i, j)] * math.Pow(x, float64(i-j)) * math.Pow(y, float64(j))
+		}
+	}
+	return s
+}
+
+// Add returns the superposition q + r, promoted to the larger degree.
+// This is the attacker's primitive: "the attacker's intended pattern can
+// be superimposed onto the original spatial correlation map".
+func (q Poly2D) Add(r Poly2D) Poly2D {
+	p := q.P
+	if r.P > p {
+		p = r.P
+	}
+	out := NewPoly2D(p)
+	for i := 0; i <= q.P; i++ {
+		for j := 0; j <= i; j++ {
+			out.Beta[term(i, j)] += q.Beta[term(i, j)]
+		}
+	}
+	for i := 0; i <= r.P; i++ {
+		for j := 0; j <= i; j++ {
+			out.Beta[term(i, j)] += r.Beta[term(i, j)]
+		}
+	}
+	return out
+}
+
+// Fit least-squares fits a degree-p polynomial to the frequency map of a
+// rows x cols array, f indexed row-major (x = column, y = row), matching
+// the paper's "coefficients beta_{i,j} may be determined in a least mean
+// squares manner". The paper reports p = 2 and p = 3 as good values for a
+// 16x32 array.
+func Fit(rows, cols int, f []float64, degree int) (Poly2D, error) {
+	if len(f) != rows*cols {
+		return Poly2D{}, fmt.Errorf("distiller: %d samples for %dx%d array", len(f), rows, cols)
+	}
+	if degree < 0 {
+		return Poly2D{}, fmt.Errorf("distiller: negative degree %d", degree)
+	}
+	terms := NumTerms(degree)
+	if len(f) < terms {
+		return Poly2D{}, fmt.Errorf("distiller: %d samples cannot determine %d coefficients", len(f), terms)
+	}
+	a := linalg.NewMatrix(len(f), terms)
+	for idx := range f {
+		x := float64(idx % cols)
+		y := float64(idx / cols)
+		for i := 0; i <= degree; i++ {
+			for j := 0; j <= i; j++ {
+				a.Set(idx, term(i, j), math.Pow(x, float64(i-j))*math.Pow(y, float64(j)))
+			}
+		}
+	}
+	beta, err := linalg.LeastSquares(a, f)
+	if err != nil {
+		return Poly2D{}, fmt.Errorf("distiller: fit failed: %w", err)
+	}
+	return Poly2D{P: degree, Beta: beta}, nil
+}
+
+// Distill subtracts the polynomial surface from a frequency map and
+// returns the residuals — the "desired random variations" that feed the
+// downstream grouping or pairing logic.
+func Distill(rows, cols int, f []float64, q Poly2D) []float64 {
+	if len(f) != rows*cols {
+		panic(fmt.Sprintf("distiller: %d samples for %dx%d array", len(f), rows, cols))
+	}
+	out := make([]float64, len(f))
+	for idx, v := range f {
+		out[idx] = v - q.Eval(float64(idx%cols), float64(idx/cols))
+	}
+	return out
+}
+
+// Variance returns the population variance of a sample set; used to
+// report the systematic/random decomposition of experiment E2 (Fig. 2).
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	var s float64
+	for _, v := range xs {
+		s += (v - mean) * (v - mean)
+	}
+	return s / float64(len(xs))
+}
+
+// --- attack pattern constructors (paper Fig. 6) ---
+
+// Plane returns the tilted plane c0 + cx*x + cy*y, the pattern the paper
+// suggests "if G1 would cover a single column only".
+func Plane(c0, cx, cy float64) Poly2D {
+	q := NewPoly2D(1)
+	q.SetCoeff(0, 0, c0)
+	q.SetCoeff(1, 0, cx)
+	q.SetCoeff(1, 1, cy)
+	return q
+}
+
+// QuadraticValleyX returns amp * (x - x0)^2: a quadratic surface constant
+// in y whose extremum sits at column x0 (the triangle marker of Fig. 6).
+// Oscillators equidistant from x0 receive identical pattern values, so
+// their mutual order stays decided by the true random variation — the
+// mechanism isolating the target bit in the Fig. 6 attacks.
+func QuadraticValleyX(x0, amp float64) Poly2D {
+	q := NewPoly2D(2)
+	q.SetCoeff(0, 0, amp*x0*x0)
+	q.SetCoeff(1, 0, -2*amp*x0)
+	q.SetCoeff(2, 0, amp)
+	return q
+}
+
+// QuadraticValleyY is QuadraticValleyX with the roles of x and y swapped.
+func QuadraticValleyY(y0, amp float64) Poly2D {
+	q := NewPoly2D(2)
+	q.SetCoeff(0, 0, amp*y0*y0)
+	q.SetCoeff(1, 1, -2*amp*y0)
+	q.SetCoeff(2, 2, amp)
+	return q
+}
+
+// PerpendicularPlane returns a steep plane whose level lines pass through
+// both (x1, y1) and (x2, y2): the two targets receive the same pattern
+// value while the gradient (of magnitude amp in the normal direction)
+// separates everyone off the line. The general-position generalization of
+// the valley patterns.
+func PerpendicularPlane(x1, y1, x2, y2 int, amp float64) Poly2D {
+	// Direction of the segment; the plane gradient is its normal.
+	dx := float64(x2 - x1)
+	dy := float64(y2 - y1)
+	norm := math.Hypot(dx, dy)
+	if norm == 0 {
+		panic("distiller: coincident targets have no separating plane")
+	}
+	nx, ny := -dy/norm, dx/norm
+	// Plane value: amp * ((x-x1)*nx + (y-y1)*ny).
+	return Plane(-amp*(float64(x1)*nx+float64(y1)*ny), amp*nx, amp*ny)
+}
+
+// --- NVM serialization ---
+
+// Marshal serializes the polynomial for helper NVM: degree then
+// little-endian float64 coefficients.
+func (q Poly2D) Marshal() []byte {
+	buf := make([]byte, 0, 2+8*len(q.Beta))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(q.P))
+	for _, b := range q.Beta {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(b))
+	}
+	return buf
+}
+
+// Unmarshal parses NVM bytes into a polynomial.
+func Unmarshal(data []byte) (Poly2D, error) {
+	if len(data) < 2 {
+		return Poly2D{}, fmt.Errorf("distiller: helper truncated")
+	}
+	p := int(binary.LittleEndian.Uint16(data))
+	want := 2 + 8*NumTerms(p)
+	if len(data) != want {
+		return Poly2D{}, fmt.Errorf("distiller: helper length %d, want %d for degree %d", len(data), want, p)
+	}
+	q := NewPoly2D(p)
+	for i := range q.Beta {
+		q.Beta[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[2+8*i:]))
+	}
+	return q, nil
+}

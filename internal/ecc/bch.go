@@ -1,0 +1,331 @@
+package ecc
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/galois"
+)
+
+// BCH is a binary primitive BCH code of full length 2^m - 1, optionally
+// expurgated (even-weight subcode) and/or shortened by s positions.
+//
+// Construction follows the textbook recipe: the generator polynomial is
+// the least common multiple of the minimal polynomials of alpha^1 ..
+// alpha^(2t) over GF(2); expurgation additionally multiplies in the
+// minimal polynomial of alpha^0 = 1, i.e. (x + 1), unless it is already a
+// factor. Decoding computes 2t syndromes, runs Berlekamp-Massey to find
+// the error-locator polynomial and locates errors with a Chien search.
+type BCH struct {
+	field      *galois.Field
+	fullN      int // 2^m - 1
+	n, k, t    int // transmitted parameters (after shortening)
+	shorten    int
+	expurgated bool
+	gen        galois.Poly // generator over GF(2), coefficients 0/1
+	numSynd    int         // syndromes evaluated during decoding
+}
+
+// BCHConfig selects a BCH code.
+type BCHConfig struct {
+	// M is the extension degree; the full code length is 2^M - 1.
+	M int
+	// T is the number of errors the code must correct.
+	T int
+	// Shorten removes this many leading message positions (default 0).
+	Shorten int
+	// Expurgate selects the even-weight subcode, which excludes the
+	// all-ones word and loses one message bit.
+	Expurgate bool
+}
+
+// NewBCH constructs the BCH code described by cfg. It returns an error if
+// the parameters are inconsistent (t too large for the length, shortening
+// beyond the message length, and so on).
+func NewBCH(cfg BCHConfig) (*BCH, error) {
+	if cfg.M < 3 || cfg.M > 16 {
+		return nil, fmt.Errorf("ecc: BCH extension degree %d outside [3,16]", cfg.M)
+	}
+	if cfg.T < 1 {
+		return nil, fmt.Errorf("ecc: BCH correction radius %d < 1", cfg.T)
+	}
+	f := galois.NewField(cfg.M)
+	fullN := f.Order()
+	if 2*cfg.T >= fullN {
+		return nil, fmt.Errorf("ecc: BCH t=%d too large for length %d", cfg.T, fullN)
+	}
+
+	// Generator = lcm of minimal polynomials of alpha^1 .. alpha^(2t).
+	// Conjugates share a minimal polynomial, so gather distinct cosets.
+	gen := galois.Poly{1}
+	seen := make(map[int]bool)
+	include := func(i int) {
+		coset := f.CyclotomicCoset(i)
+		leader := coset[0]
+		for _, c := range coset {
+			if c < leader {
+				leader = c
+			}
+		}
+		if seen[leader] {
+			return
+		}
+		seen[leader] = true
+		gen = f.PolyMul(gen, bitsToPoly(f.MinimalPolynomial(i)))
+	}
+	for i := 1; i <= 2*cfg.T; i++ {
+		include(i)
+	}
+	if cfg.Expurgate {
+		include(0) // multiplies in (x + 1) unless already present
+	}
+
+	k := fullN - gen.Degree()
+	if k <= 0 {
+		return nil, fmt.Errorf("ecc: BCH m=%d t=%d has no message bits (deg g = %d)", cfg.M, cfg.T, gen.Degree())
+	}
+	if cfg.Shorten < 0 || cfg.Shorten >= k {
+		return nil, fmt.Errorf("ecc: shortening %d outside [0,%d)", cfg.Shorten, k)
+	}
+	numSynd := 2 * cfg.T
+	if cfg.Expurgate {
+		// Designed distance grows by one; the extra syndrome S_0 is the
+		// overall parity, checked separately in Decode.
+		numSynd = 2 * cfg.T
+	}
+	return &BCH{
+		field:      f,
+		fullN:      fullN,
+		n:          fullN - cfg.Shorten,
+		k:          k - cfg.Shorten,
+		t:          cfg.T,
+		shorten:    cfg.Shorten,
+		expurgated: cfg.Expurgate,
+		gen:        gen,
+		numSynd:    numSynd,
+	}, nil
+}
+
+// MustBCH is NewBCH for statically known-good parameters; it panics on error.
+func MustBCH(cfg BCHConfig) *BCH {
+	b, err := NewBCH(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// bitsToPoly converts a GF(2) polynomial packed in a uint64 into a Poly
+// with 0/1 coefficients.
+func bitsToPoly(bits uint64) galois.Poly {
+	var p galois.Poly
+	for i := 0; i < 64; i++ {
+		if bits>>uint(i)&1 == 1 {
+			for len(p) <= i {
+				p = append(p, 0)
+			}
+			p[i] = 1
+		}
+	}
+	return p
+}
+
+// N returns the transmitted codeword length (full length minus shortening).
+func (b *BCH) N() int { return b.n }
+
+// K returns the message length after shortening.
+func (b *BCH) K() int { return b.k }
+
+// T returns the design correction radius.
+func (b *BCH) T() int { return b.t }
+
+// Generator returns a copy of the generator polynomial (GF(2) coefficients).
+func (b *BCH) Generator() galois.Poly { return b.gen.Clone() }
+
+// Encode performs systematic encoding: the message occupies coefficient
+// positions n-k..n-1 of the transmitted word and the parity, the remainder
+// of x^(fullN-fullK) * u(x) modulo g(x), occupies positions 0..n-k-1.
+func (b *BCH) Encode(msg bitvec.Vector) bitvec.Vector {
+	checkLen("message", msg.Len(), b.k)
+	parityLen := b.fullN - (b.k + b.shorten) // = deg g
+	// Build x^(deg g) * u(x) over the full length; shortened positions
+	// (the top b.shorten message slots) are implicitly zero.
+	shifted := make(galois.Poly, b.fullN)
+	for i := 0; i < b.k; i++ {
+		if msg.Get(i) {
+			shifted[parityLen+i] = 1
+		}
+	}
+	_, rem := b.field.PolyDivMod(shifted, b.gen)
+	out := bitvec.New(b.n)
+	for i := 0; i < parityLen && i < len(rem); i++ {
+		if rem[i] != 0 {
+			out.Set(i, true)
+		}
+	}
+	for i := 0; i < b.k; i++ {
+		if msg.Get(i) {
+			out.Set(parityLen+i, true)
+		}
+	}
+	return out
+}
+
+// Message extracts the systematic message bits from a codeword.
+func (b *BCH) Message(codeword bitvec.Vector) bitvec.Vector {
+	checkLen("codeword", codeword.Len(), b.n)
+	parityLen := b.fullN - (b.k + b.shorten)
+	return codeword.Slice(parityLen, b.n)
+}
+
+// syndromes returns S_1..S_numSynd where S_j = r(alpha^j).
+func (b *BCH) syndromes(received bitvec.Vector) []galois.Elem {
+	f := b.field
+	synd := make([]galois.Elem, b.numSynd)
+	for _, i := range received.SupportIndices() {
+		for j := 1; j <= b.numSynd; j++ {
+			synd[j-1] = f.Add(synd[j-1], f.Exp(i*j))
+		}
+	}
+	return synd
+}
+
+// Decode corrects up to t errors. Failure (ok=false) is returned when the
+// Berlekamp-Massey locator is inconsistent with the Chien-search root
+// count, when an error lands in a shortened position, or when the
+// corrected word still has nonzero syndromes. Expurgated codes also check
+// overall parity, which detects one extra error.
+func (b *BCH) Decode(received bitvec.Vector) (bitvec.Vector, int, bool) {
+	checkLen("received word", received.Len(), b.n)
+	synd := b.syndromes(received)
+	allZero := true
+	for _, s := range synd {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		if b.expurgated && received.Weight()%2 != 0 {
+			// Zero syndromes but odd parity: detected, uncorrectable
+			// within the bounded-distance radius.
+			return received, 0, false
+		}
+		return received, 0, true
+	}
+
+	lambda := b.berlekampMassey(synd)
+	degree := lambda.Degree()
+	if degree < 1 || degree > b.t {
+		return received, 0, false
+	}
+
+	// Chien search over the transmitted positions only: an error located
+	// in a shortened (always-zero) position proves the pattern exceeded
+	// the radius.
+	f := b.field
+	positions := make([]int, 0, degree)
+	for i := 0; i < b.fullN; i++ {
+		if f.Eval(lambda, f.Exp(-i)) == 0 {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) != degree {
+		return received, 0, false
+	}
+	corrected := received.Clone()
+	for _, p := range positions {
+		if p >= b.n {
+			return received, 0, false
+		}
+		corrected.Flip(p)
+	}
+	// Re-verify: all syndromes of the corrected word must vanish.
+	for _, s := range b.syndromes(corrected) {
+		if s != 0 {
+			return received, 0, false
+		}
+	}
+	if b.expurgated && corrected.Weight()%2 != 0 {
+		return received, 0, false
+	}
+	return corrected, degree, true
+}
+
+// berlekampMassey computes the error-locator polynomial from syndromes.
+func (b *BCH) berlekampMassey(synd []galois.Elem) galois.Poly {
+	f := b.field
+	c := galois.Poly{1}
+	prev := galois.Poly{1}
+	var l int
+	shift := 1
+	prevDisc := galois.Elem(1)
+	for i := 0; i < len(synd); i++ {
+		// Discrepancy d = S_i + sum_{j=1..l} c_j * S_{i-j}.
+		d := synd[i]
+		for j := 1; j <= l && j < len(c); j++ {
+			if i-j >= 0 {
+				d = f.Add(d, f.Mul(c[j], synd[i-j]))
+			}
+		}
+		if d == 0 {
+			shift++
+			continue
+		}
+		if 2*l <= i {
+			tmp := c.Clone()
+			c = subScaledShift(f, c, prev, f.Div(d, prevDisc), shift)
+			l = i + 1 - l
+			prev = tmp
+			prevDisc = d
+			shift = 1
+		} else {
+			c = subScaledShift(f, c, prev, f.Div(d, prevDisc), shift)
+			shift++
+		}
+	}
+	return c
+}
+
+// subScaledShift returns c - coef * x^shift * p (addition in char 2).
+func subScaledShift(f *galois.Field, c, p galois.Poly, coef galois.Elem, shift int) galois.Poly {
+	out := make(galois.Poly, max(len(c), len(p)+shift))
+	copy(out, c)
+	for i, pc := range p {
+		if pc != 0 {
+			out[i+shift] = f.Add(out[i+shift], f.Mul(coef, pc))
+		}
+	}
+	// Trim trailing zeros.
+	for len(out) > 0 && out[len(out)-1] == 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// ContainsAllOnes reports whether the all-ones transmitted word is a
+// codeword. For the full-length narrow-sense code this is always true;
+// expurgation removes it; shortening generally removes it as well. The
+// check is performed directly on the transmitted-length word.
+func (b *BCH) ContainsAllOnes() bool {
+	return IsCodeword(b, bitvec.Ones(b.n))
+}
+
+// String implements fmt.Stringer.
+func (b *BCH) String() string {
+	tag := "BCH"
+	if b.expurgated {
+		tag = "eBCH"
+	}
+	if b.shorten > 0 {
+		return fmt.Sprintf("%s(%d,%d,%d;s=%d)", tag, b.n, b.k, b.t, b.shorten)
+	}
+	return fmt.Sprintf("%s(%d,%d,%d)", tag, b.n, b.k, b.t)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

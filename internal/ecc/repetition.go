@@ -1,0 +1,77 @@
+package ecc
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Repetition is the (n, 1) repetition code with n = 2t+1. Decoding is a
+// majority vote. It is the simplest code satisfying the paper's "corrects
+// t errors per block" abstraction and serves as a reference point in the
+// ablation benches: its all-ones word IS a codeword, so the complement
+// ambiguity of the sequential-pairing attack is unresolvable with it.
+type Repetition struct {
+	t int
+}
+
+// NewRepetition returns the (2t+1, 1) repetition code. It panics if t < 0.
+func NewRepetition(t int) *Repetition {
+	if t < 0 {
+		panic("ecc: negative correction radius")
+	}
+	return &Repetition{t: t}
+}
+
+// N returns 2t+1.
+func (r *Repetition) N() int { return 2*r.t + 1 }
+
+// K returns 1.
+func (r *Repetition) K() int { return 1 }
+
+// T returns the correction radius t.
+func (r *Repetition) T() int { return r.t }
+
+// Encode repeats the single message bit n times.
+func (r *Repetition) Encode(msg bitvec.Vector) bitvec.Vector {
+	checkLen("message", msg.Len(), 1)
+	out := bitvec.New(r.N())
+	if msg.Get(0) {
+		out = bitvec.Ones(r.N())
+	}
+	return out
+}
+
+// Decode takes a majority vote. With n odd the vote never ties, so ok is
+// always true; patterns beyond t miscorrect silently.
+func (r *Repetition) Decode(received bitvec.Vector) (bitvec.Vector, int, bool) {
+	checkLen("received word", received.Len(), r.N())
+	w := received.Weight()
+	bit := w > r.t
+	var cw bitvec.Vector
+	var corrected int
+	if bit {
+		cw = bitvec.Ones(r.N())
+		corrected = r.N() - w
+	} else {
+		cw = bitvec.New(r.N())
+		corrected = w
+	}
+	return cw, corrected, true
+}
+
+// Message returns the first bit of the codeword.
+func (r *Repetition) Message(codeword bitvec.Vector) bitvec.Vector {
+	checkLen("codeword", codeword.Len(), r.N())
+	out := bitvec.New(1)
+	out.Set(0, codeword.Get(0))
+	return out
+}
+
+// ContainsAllOnes always reports true: the all-ones word encodes bit 1.
+func (r *Repetition) ContainsAllOnes() bool { return true }
+
+// String implements fmt.Stringer.
+func (r *Repetition) String() string {
+	return fmt.Sprintf("Rep(%d,1,%d)", r.N(), r.t)
+}

@@ -1,0 +1,111 @@
+package galois
+
+// Poly is a polynomial over GF(2^m), coefficient i belonging to x^i.
+// The zero polynomial is the empty (or all-zero) coefficient slice.
+// Polys are value types: operations return fresh slices.
+type Poly []Elem
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return p.Degree() == -1 }
+
+// trim drops trailing zero coefficients.
+func (p Poly) trim() Poly {
+	d := p.Degree()
+	return p[:d+1]
+}
+
+// Clone returns an independent copy of p.
+func (p Poly) Clone() Poly {
+	q := make(Poly, len(p))
+	copy(q, p)
+	return q
+}
+
+// PolyAdd returns p + q (characteristic 2, so also p - q).
+func PolyAdd(p, q Poly) Poly {
+	if len(q) > len(p) {
+		p, q = q, p
+	}
+	out := p.Clone()
+	for i, c := range q {
+		out[i] ^= c
+	}
+	return out.trim()
+}
+
+// PolyMul returns p * q over the field f.
+func (f *Field) PolyMul(p, q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return nil
+	}
+	out := make(Poly, p.Degree()+q.Degree()+1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			if b == 0 {
+				continue
+			}
+			out[i+j] ^= f.Mul(a, b)
+		}
+	}
+	return out.trim()
+}
+
+// PolyDivMod returns quotient and remainder of p divided by q.
+// It panics if q is zero.
+func (f *Field) PolyDivMod(p, q Poly) (quot, rem Poly) {
+	dq := q.Degree()
+	if dq == -1 {
+		panic("galois: polynomial division by zero")
+	}
+	rem = p.Clone().trim()
+	if rem.Degree() < dq {
+		return nil, rem
+	}
+	quot = make(Poly, rem.Degree()-dq+1)
+	lead := q[dq]
+	for rem.Degree() >= dq {
+		d := rem.Degree()
+		c := f.Div(rem[d], lead)
+		quot[d-dq] = c
+		for i := 0; i <= dq; i++ {
+			rem[d-dq+i] ^= f.Mul(c, q[i])
+		}
+		rem = rem.trim()
+	}
+	return quot, rem
+}
+
+// Eval evaluates p at x using Horner's rule.
+func (f *Field) Eval(p Poly, x Elem) Elem {
+	var acc Elem
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = f.Add(f.Mul(acc, x), p[i])
+	}
+	return acc
+}
+
+// FormalDerivative returns p'(x). In characteristic 2 the even-power terms
+// vanish and odd powers keep their coefficient shifted down.
+func FormalDerivative(p Poly) Poly {
+	if len(p) <= 1 {
+		return nil
+	}
+	out := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i += 2 {
+		out[i-1] = p[i]
+	}
+	return out.trim()
+}

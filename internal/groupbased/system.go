@@ -1,0 +1,225 @@
+package groupbased
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/distiller"
+	"repro/internal/ecc"
+	"repro/internal/perm"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+)
+
+// Params configures a group-based RO PUF instance (Fig. 4).
+type Params struct {
+	// Rows, Cols give the RO array layout.
+	Rows, Cols int
+	// Degree is the entropy-distiller polynomial degree (paper: 2 or 3).
+	Degree int
+	// ThresholdMHz is the grouping discrepancy threshold ∆fth.
+	ThresholdMHz float64
+	// MaxGroupSize caps the grouping algorithm's group size (0 means a
+	// default of 12); the Kendall workload is quadratic in it.
+	MaxGroupSize int
+	// Code is the per-block ECC; the Kendall bitstream is padded with
+	// zeros to a whole number of blocks.
+	Code ecc.Code
+	// EnrollReps is the measurement-averaging factor at enrollment.
+	EnrollReps int
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.Rows < 1 || p.Cols < 1 {
+		return fmt.Errorf("groupbased: invalid layout %dx%d", p.Rows, p.Cols)
+	}
+	if p.Degree < 0 {
+		return fmt.Errorf("groupbased: negative distiller degree")
+	}
+	if p.ThresholdMHz < 0 {
+		return fmt.Errorf("groupbased: negative threshold")
+	}
+	if p.Code == nil {
+		return errors.New("groupbased: nil ECC")
+	}
+	if p.EnrollReps < 1 {
+		return fmt.Errorf("groupbased: enrollment reps %d < 1", p.EnrollReps)
+	}
+	if p.MaxGroupSize < 0 || p.MaxGroupSize > 20 {
+		return fmt.Errorf("groupbased: max group size %d outside [0,20]", p.MaxGroupSize)
+	}
+	return nil
+}
+
+// maxGroupSize resolves the configured cap, defaulting to 12.
+func (p Params) maxGroupSize() int {
+	if p.MaxGroupSize == 0 {
+		return 12
+	}
+	return p.MaxGroupSize
+}
+
+// Helper is the complete public helper data of the construction,
+// mirroring the NVM box of Fig. 4: polynomial coefficients, group
+// information and ECC redundancy.
+type Helper struct {
+	Poly     distiller.Poly2D
+	Grouping Grouping
+	// Offset is the code-offset redundancy over the padded Kendall
+	// bitstream; its length fixes the expected stream length.
+	Offset bitvec.Vector
+}
+
+// ErrReconstructFailed is returned when the device cannot regenerate a
+// key: the ECC reports an uncorrectable block or the corrected stream is
+// not a valid Kendall coding. This is the observable event the paper's
+// attacks count.
+var ErrReconstructFailed = errors.New("groupbased: key reconstruction failed")
+
+// KendallStream codes the per-group frequency orders of a residual
+// snapshot into the concatenated Kendall bitstream (groups in id order;
+// singleton groups contribute no bits).
+func KendallStream(g *Grouping, residuals []float64) bitvec.Vector {
+	out := bitvec.New(0)
+	for _, members := range g.Members() {
+		if len(members) < 2 {
+			continue
+		}
+		out = out.Concat(perm.KendallEncode(groupOrder(members, residuals)))
+	}
+	return out
+}
+
+// groupOrder returns the descending-residual order of a group's members
+// in label space: labels are positions in the ascending-index member
+// list.
+func groupOrder(members []int, residuals []float64) []int {
+	vals := make([]float64, len(members))
+	for l, ro := range members {
+		vals[l] = residuals[ro]
+	}
+	return perm.OrderOf(vals)
+}
+
+// PackKey converts an error-corrected Kendall stream into the secret key:
+// per group, decode the Kendall bits to an order and append its compact
+// coding (the entropy-packing step of Fig. 4). An invalid (non-
+// transitive) group coding fails the whole reconstruction.
+func PackKey(g *Grouping, stream bitvec.Vector) (bitvec.Vector, error) {
+	key := bitvec.New(0)
+	at := 0
+	for id, members := range g.Members() {
+		n := len(members)
+		if n < 2 {
+			continue
+		}
+		bits := perm.KendallBits(n)
+		if at+bits > stream.Len() {
+			return bitvec.Vector{}, fmt.Errorf("groupbased: stream exhausted at group %d: %w", id, ErrReconstructFailed)
+		}
+		order, err := perm.KendallDecode(stream.Slice(at, at+bits), n)
+		if err != nil {
+			return bitvec.Vector{}, fmt.Errorf("groupbased: group %d: %v: %w", id, err, ErrReconstructFailed)
+		}
+		key = key.Concat(perm.CompactEncode(order))
+		at += bits
+	}
+	return key, nil
+}
+
+// StreamLen returns the Kendall bitstream length of a grouping.
+func StreamLen(g *Grouping) int {
+	total := 0
+	for _, members := range g.Members() {
+		total += perm.KendallBits(len(members))
+	}
+	return total
+}
+
+// KeyLen returns the packed key length of a grouping.
+func KeyLen(g *Grouping) int {
+	total := 0
+	for _, members := range g.Members() {
+		if len(members) >= 2 {
+			total += perm.CompactBits(len(members))
+		}
+	}
+	return total
+}
+
+// Entropy returns sum log2(|Gj|!), the response entropy of the grouping
+// (paper §V-B).
+func Entropy(g *Grouping) float64 {
+	var s float64
+	for _, members := range g.Members() {
+		s += perm.Log2Factorial(len(members))
+	}
+	return s
+}
+
+// padToBlocks zero-pads a stream to a whole number of code blocks and
+// returns it with the block count.
+func padToBlocks(stream bitvec.Vector, code ecc.Code) (bitvec.Vector, int) {
+	n := code.N()
+	blocks := (stream.Len() + n - 1) / n
+	if blocks == 0 {
+		blocks = 1
+	}
+	return stream.Concat(bitvec.New(blocks*n - stream.Len())), blocks
+}
+
+// Enroll manufactures the helper data and enrolled key of a device.
+// Randomness for the code-offset draw comes from src.
+func Enroll(a *silicon.Array, p Params, src *rng.Source) (Helper, bitvec.Vector, error) {
+	if err := p.Validate(); err != nil {
+		return Helper{}, bitvec.Vector{}, err
+	}
+	env := a.Config().NominalEnv()
+	f := a.MeasureAveraged(env, src, p.EnrollReps)
+	poly, err := distiller.Fit(p.Rows, p.Cols, f, p.Degree)
+	if err != nil {
+		return Helper{}, bitvec.Vector{}, err
+	}
+	residuals := distiller.Distill(p.Rows, p.Cols, f, poly)
+	grouping := GroupLimited(residuals, p.ThresholdMHz, p.maxGroupSize())
+	stream := KendallStream(&grouping, residuals)
+	padded, blocks := padToBlocks(stream, p.Code)
+	block := ecc.NewBlock(p.Code, blocks)
+	offset := ecc.EnrollOffset(block, padded, src)
+	key, err := PackKey(&grouping, padded)
+	if err != nil {
+		return Helper{}, bitvec.Vector{}, fmt.Errorf("groupbased: enrollment self-check: %w", err)
+	}
+	return Helper{Poly: poly, Grouping: grouping, Offset: offset.W}, key, nil
+}
+
+// Reconstruct regenerates the key from one fresh measurement in the given
+// environment using (possibly attacker-controlled) helper data. It
+// performs the honest device's structural validation, then follows the
+// helper blindly — the paper's threat model.
+func Reconstruct(a *silicon.Array, p Params, h Helper, env silicon.Environment, src *rng.Source) (bitvec.Vector, error) {
+	if err := h.Grouping.Validate(a.N()); err != nil {
+		return bitvec.Vector{}, err
+	}
+	if h.Offset.Len()%p.Code.N() != 0 || h.Offset.Len() == 0 {
+		return bitvec.Vector{}, fmt.Errorf("groupbased: offset length %d not a block multiple", h.Offset.Len())
+	}
+	if StreamLen(&h.Grouping) > h.Offset.Len() {
+		return bitvec.Vector{}, fmt.Errorf("groupbased: offset too short for grouping stream")
+	}
+	f := a.MeasureAll(env, src)
+	residuals := distiller.Distill(p.Rows, p.Cols, f, h.Poly)
+	stream := KendallStream(&h.Grouping, residuals)
+	padded, blocks := padToBlocks(stream, p.Code)
+	if padded.Len() != h.Offset.Len() {
+		return bitvec.Vector{}, fmt.Errorf("groupbased: stream/offset length mismatch %d vs %d", padded.Len(), h.Offset.Len())
+	}
+	block := ecc.NewBlock(p.Code, blocks)
+	corrected, _, ok := ecc.Reproduce(block, ecc.Offset{W: h.Offset}, padded)
+	if !ok {
+		return bitvec.Vector{}, ErrReconstructFailed
+	}
+	return PackKey(&h.Grouping, corrected)
+}

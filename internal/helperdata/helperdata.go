@@ -1,0 +1,190 @@
+// Package helperdata models the public helper NVM image of a deployed
+// PUF device: a sectioned, byte-serializable container holding each
+// construction's helper blobs (pair lists, polynomial coefficients,
+// group assignments, ECC redundancy).
+//
+// The paper's §VII-C criticizes attacked proposals for leaving "the
+// precise storage format, parsing procedure and/or sanity checks"
+// unspecified, since "subtle differences might impact security
+// tremendously". This package pins one precise format so that the
+// parsing layer itself cannot hide ambiguity:
+//
+//	image := magic(4) version(1) sectionCount(2)
+//	         { nameLen(1) name nameLen bytes  dataLen(4) data }*
+//	         checksum(4)
+//
+// The checksum is CRC-32 (IEEE) over everything before it. NOTE the
+// threat model: the checksum protects against NVM corruption, NOT
+// against the attacker — anyone who can write helper data can recompute
+// it, exactly as the paper assumes. Integrity against manipulation needs
+// the robust fuzzy extractor (internal/fuzzy), not a checksum.
+package helperdata
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Format constants.
+const (
+	magic   = "ROPF"
+	version = 1
+	// MaxSectionBytes bounds a single section; parsing rejects images
+	// that claim more, preventing length-field abuse.
+	MaxSectionBytes = 1 << 24
+)
+
+// Common section names used by the constructions in this repository.
+const (
+	SectionSeqPairs   = "seq-pairs"
+	SectionMasking    = "masking"
+	SectionPolynomial = "distiller-poly"
+	SectionGrouping   = "grouping"
+	SectionOffset     = "ecc-offset"
+	SectionTempCo     = "tempco-pairs"
+	SectionTag        = "robust-tag"
+)
+
+// Image is an in-memory helper NVM image: named byte sections.
+type Image struct {
+	sections map[string][]byte
+}
+
+// NewImage returns an empty image.
+func NewImage() *Image {
+	return &Image{sections: make(map[string][]byte)}
+}
+
+// Set stores a section, copying the data. Empty names are rejected at
+// Marshal time; overwriting an existing section is allowed (that is what
+// the attacker does).
+func (im *Image) Set(name string, data []byte) {
+	im.sections[name] = append([]byte(nil), data...)
+}
+
+// Section returns a copy of a section's content and whether it exists.
+func (im *Image) Section(name string) ([]byte, bool) {
+	d, ok := im.sections[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+// Names returns the section names in sorted order.
+func (im *Image) Names() []string {
+	out := make([]string, 0, len(im.sections))
+	for n := range im.sections {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes a section if present.
+func (im *Image) Delete(name string) {
+	delete(im.sections, name)
+}
+
+// Len returns the number of sections.
+func (im *Image) Len() int { return len(im.sections) }
+
+// Marshal serializes the image with its trailing CRC. Sections are
+// emitted in sorted name order so equal images produce equal bytes.
+func (im *Image) Marshal() ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, magic...)
+	buf = append(buf, version)
+	names := im.Names()
+	if len(names) > 0xffff {
+		return nil, fmt.Errorf("helperdata: %d sections exceed the format limit", len(names))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(names)))
+	for _, name := range names {
+		if name == "" {
+			return nil, errors.New("helperdata: empty section name")
+		}
+		if len(name) > 0xff {
+			return nil, fmt.Errorf("helperdata: section name %q too long", name)
+		}
+		data := im.sections[name]
+		if len(data) > MaxSectionBytes {
+			return nil, fmt.Errorf("helperdata: section %q exceeds %d bytes", name, MaxSectionBytes)
+		}
+		buf = append(buf, byte(len(name)))
+		buf = append(buf, name...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(data)))
+		buf = append(buf, data...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// Unmarshal parses and validates an NVM image. Errors are deliberately
+// specific — the paper asks for precise parsing procedures.
+func Unmarshal(raw []byte) (*Image, error) {
+	if len(raw) < len(magic)+1+2+4 {
+		return nil, errors.New("helperdata: image truncated")
+	}
+	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, errors.New("helperdata: checksum mismatch (NVM corruption)")
+	}
+	if string(body[:4]) != magic {
+		return nil, fmt.Errorf("helperdata: bad magic %q", body[:4])
+	}
+	if body[4] != version {
+		return nil, fmt.Errorf("helperdata: unsupported version %d", body[4])
+	}
+	count := int(binary.LittleEndian.Uint16(body[5:]))
+	at := 7
+	im := NewImage()
+	for i := 0; i < count; i++ {
+		if at >= len(body) {
+			return nil, fmt.Errorf("helperdata: section %d header past end", i)
+		}
+		nameLen := int(body[at])
+		at++
+		if nameLen == 0 || at+nameLen+4 > len(body) {
+			return nil, fmt.Errorf("helperdata: section %d name malformed", i)
+		}
+		name := string(body[at : at+nameLen])
+		at += nameLen
+		dataLen := int(binary.LittleEndian.Uint32(body[at:]))
+		at += 4
+		if dataLen > MaxSectionBytes || at+dataLen > len(body) {
+			return nil, fmt.Errorf("helperdata: section %q length %d malformed", name, dataLen)
+		}
+		if _, dup := im.sections[name]; dup {
+			return nil, fmt.Errorf("helperdata: duplicate section %q", name)
+		}
+		im.Set(name, body[at:at+dataLen])
+		at += dataLen
+	}
+	if at != len(body) {
+		return nil, fmt.Errorf("helperdata: %d trailing bytes", len(body)-at)
+	}
+	return im, nil
+}
+
+// Equal reports whether two images have identical sections.
+func (im *Image) Equal(other *Image) bool {
+	if im.Len() != other.Len() {
+		return false
+	}
+	for name, data := range im.sections {
+		od, ok := other.sections[name]
+		if !ok || len(od) != len(data) {
+			return false
+		}
+		for i := range data {
+			if data[i] != od[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

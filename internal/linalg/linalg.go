@@ -1,0 +1,181 @@
+// Package linalg provides the small amount of dense real linear algebra
+// the entropy distiller needs: solving least-squares problems for the
+// polynomial regression of the RO frequency map f(x, y).
+//
+// The problem sizes are tiny (a degree-p bivariate polynomial has
+// (p+1)(p+2)/2 coefficients; the paper uses p in {2, 3}, i.e. 6 or 10
+// unknowns), so the normal-equations approach with Gaussian elimination
+// and partial pivoting is numerically adequate and keeps the code simple.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("linalg: singular system")
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, element (i,j) at i*Cols+j
+}
+
+// NewMatrix returns a zero matrix of the given shape. It panics on
+// non-positive dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec returns m * x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Transpose returns m^T.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns m * other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %d vs %d", m.Cols, other.Rows))
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < other.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * other.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// SolveSquare solves A x = b for square A using Gaussian elimination with
+// partial pivoting. A and b are not modified.
+func SolveSquare(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: SolveSquare on %dx%d matrix", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), a.Rows)
+	}
+	n := a.Rows
+	m := a.Clone()
+	rhs := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column at or below
+		// the diagonal.
+		pivot := col
+		best := abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := abs(m.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				m.Data[col*n+j], m.Data[pivot*n+j] = m.Data[pivot*n+j], m.Data[col*n+j]
+			}
+			rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			factor := m.At(r, col) * inv
+			if factor == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Data[r*n+j] -= factor * m.At(col, j)
+			}
+			rhs[r] -= factor * rhs[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := rhs[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquares solves min_x ||A x - b||_2 via the normal equations
+// A^T A x = A^T b. A must have at least as many rows as columns.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("linalg: underdetermined least squares %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), a.Rows)
+	}
+	at := a.Transpose()
+	ata := at.Mul(a)
+	atb := at.MulVec(b)
+	return SolveSquare(ata, atb)
+}
+
+// Residuals returns b - A x.
+func Residuals(a *Matrix, x, b []float64) []float64 {
+	ax := a.MulVec(x)
+	out := make([]float64, len(b))
+	for i := range b {
+		out[i] = b[i] - ax[i]
+	}
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+func TestTotalOrderEntropy(t *testing.T) {
+	// log2(3!) = log2 6 ~ 2.585
+	if v := TotalOrderEntropyBits(3); math.Abs(v-math.Log2(6)) > 1e-12 {
+		t.Fatalf("entropy %v", v)
+	}
+	if TotalOrderEntropyBits(1) != 0 {
+		t.Fatal("single RO has entropy")
+	}
+}
+
+func TestBias(t *testing.T) {
+	rs := []bitvec.Vector{
+		bitvec.MustFromString("1111"),
+		bitvec.MustFromString("0000"),
+	}
+	if b := Bias(rs); b != 0.5 {
+		t.Fatalf("bias %v", b)
+	}
+	if Bias(nil) != 0 {
+		t.Fatal("empty bias")
+	}
+}
+
+func TestIntraDistance(t *testing.T) {
+	ref := bitvec.MustFromString("0000")
+	regs := []bitvec.Vector{
+		bitvec.MustFromString("0001"), // 0.25
+		bitvec.MustFromString("0011"), // 0.5
+	}
+	d, err := IntraDistance(ref, regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.375) > 1e-12 {
+		t.Fatalf("intra %v", d)
+	}
+	if _, err := IntraDistance(ref, nil); err == nil {
+		t.Fatal("empty regenerations must fail")
+	}
+	if _, err := IntraDistance(ref, []bitvec.Vector{bitvec.New(5)}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestInterDistance(t *testing.T) {
+	rs := []bitvec.Vector{
+		bitvec.MustFromString("0000"),
+		bitvec.MustFromString("1111"),
+		bitvec.MustFromString("0011"),
+	}
+	// pairwise: 1.0, 0.5, 0.5 -> mean 2/3
+	d, err := InterDistance(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-2.0/3) > 1e-12 {
+		t.Fatalf("inter %v", d)
+	}
+	if _, err := InterDistance(rs[:1]); err == nil {
+		t.Fatal("single device must fail")
+	}
+}
+
+func TestInterDistanceRandomResponsesNearHalf(t *testing.T) {
+	r := rng.New(1)
+	var rs []bitvec.Vector
+	for d := 0; d < 20; d++ {
+		v := bitvec.New(256)
+		for i := 0; i < 256; i++ {
+			v.Set(i, r.Bool())
+		}
+		rs = append(rs, v)
+	}
+	d, err := InterDistance(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.45 || d > 0.55 {
+		t.Fatalf("inter-distance of random responses %v", d)
+	}
+}
+
+func TestEntropyPerBit(t *testing.T) {
+	if math.Abs(ShannonEntropyPerBit(0.5)-1) > 1e-12 {
+		t.Fatal("H(0.5) != 1")
+	}
+	if ShannonEntropyPerBit(0) != 0 || ShannonEntropyPerBit(1) != 0 {
+		t.Fatal("H at extremes != 0")
+	}
+	if ShannonEntropyPerBit(0.1) >= ShannonEntropyPerBit(0.3) {
+		t.Fatal("H not increasing toward 0.5")
+	}
+	if math.Abs(MinEntropyPerBit(0.5)-1) > 1e-12 {
+		t.Fatal("minH(0.5) != 1")
+	}
+	if MinEntropyPerBit(1) != 0 {
+		t.Fatal("minH(1) != 0")
+	}
+	if MinEntropyPerBit(0.3) >= ShannonEntropyPerBit(0.3) {
+		// min-entropy lower-bounds Shannon entropy... strictly it is
+		// always <= Shannon entropy.
+		t.Log("ok") // both near; the inequality check:
+	}
+	if MinEntropyPerBit(0.3) > ShannonEntropyPerBit(0.3) {
+		t.Fatal("min-entropy exceeds Shannon entropy")
+	}
+}

@@ -1,0 +1,290 @@
+// Package pairing implements the RO pair-selection schemes of Section IV
+// of the paper: chains of physical neighbors (overlapping or disjoint),
+// the 1-out-of-k masking scheme of Suh & Devadas, and the sequential
+// pairing algorithm (LISA) of Yin & Qu, including its helper-data storage
+// formats.
+//
+// The response-bit convention is fixed across the repository: a pair
+// (A, B) produces bit 1 exactly when f_A > f_B at measurement time. The
+// order in which a pair's two indices are stored in helper NVM therefore
+// matters — the paper's Section VII-C observes that storing them sorted
+// by enrollment frequency leaks every response bit outright, which is why
+// enrollment offers both storage policies.
+package pairing
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// Pair identifies two oscillators by array index; its response bit is
+// [f_A > f_B].
+type Pair struct {
+	A, B int
+}
+
+// Swapped returns the pair with its stored order reversed, which inverts
+// its response bit — the attacker's deterministic error injector.
+func (p Pair) Swapped() Pair { return Pair{A: p.B, B: p.A} }
+
+// ResponseBit evaluates one pair against a frequency snapshot.
+func ResponseBit(f []float64, p Pair) bool { return f[p.A] > f[p.B] }
+
+// Responses evaluates a pair list into a response bit vector.
+func Responses(f []float64, pairs []Pair) bitvec.Vector {
+	out := bitvec.New(len(pairs))
+	for i, p := range pairs {
+		if ResponseBit(f, p) {
+			out.Set(i, true)
+		}
+	}
+	return out
+}
+
+// SnakePath returns a boustrophedon walk over a rows x cols grid: row 0
+// left to right, row 1 right to left, and so on. Consecutive path entries
+// are physically adjacent oscillators, which is the property the
+// chain-of-neighbors scheme wants (reduced impact of spatial
+// correlation, paper §IV-A).
+func SnakePath(rows, cols int) []int {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("pairing: invalid grid %dx%d", rows, cols))
+	}
+	path := make([]int, 0, rows*cols)
+	for y := 0; y < rows; y++ {
+		if y%2 == 0 {
+			for x := 0; x < cols; x++ {
+				path = append(path, y*cols+x)
+			}
+		} else {
+			for x := cols - 1; x >= 0; x-- {
+				path = append(path, y*cols+x)
+			}
+		}
+	}
+	return path
+}
+
+// ChainPairs pairs neighbors along the snake path. With disjoint=true it
+// returns floor(N/2) non-overlapping pairs; otherwise N-1 overlapping
+// pairs (each oscillator shared between two pairs), the two variants of
+// paper §IV-A.
+func ChainPairs(rows, cols int, disjoint bool) []Pair {
+	path := SnakePath(rows, cols)
+	var pairs []Pair
+	if disjoint {
+		for i := 0; i+1 < len(path); i += 2 {
+			pairs = append(pairs, Pair{A: path[i], B: path[i+1]})
+		}
+	} else {
+		for i := 0; i+1 < len(path); i++ {
+			pairs = append(pairs, Pair{A: path[i], B: path[i+1]})
+		}
+	}
+	return pairs
+}
+
+// StoragePolicy selects how a pair's two indices are written to helper
+// NVM at enrollment.
+type StoragePolicy int
+
+const (
+	// RandomizedStorage flips a fair coin per pair, so the stored order
+	// carries no information about the response bit. This is the
+	// "secure" variant the paper says proposals fail to specify.
+	RandomizedStorage StoragePolicy = iota
+	// SortedStorage stores the enrollment-faster oscillator first, so
+	// every enrolled response bit is 1 and the helper data leaks the
+	// key directly (paper §VII-C). Included for the leakage ablation.
+	SortedStorage
+)
+
+// String implements fmt.Stringer.
+func (s StoragePolicy) String() string {
+	switch s {
+	case RandomizedStorage:
+		return "randomized"
+	case SortedStorage:
+		return "sorted"
+	}
+	return fmt.Sprintf("StoragePolicy(%d)", int(s))
+}
+
+// --- 1-out-of-k masking (paper §IV-B) ---
+
+// MaskingHelper is the public helper data of the 1-out-of-k scheme: for
+// each group of k candidate pairs, the index (0..k-1) of the selected
+// pair.
+type MaskingHelper struct {
+	K        int
+	Selected []int
+}
+
+// EnrollMasking partitions basePairs into consecutive groups of k and
+// selects, per group, the pair maximizing |∆f| at enrollment. Trailing
+// pairs that do not fill a complete group are discarded, following the
+// original proposal.
+func EnrollMasking(f []float64, basePairs []Pair, k int) (MaskingHelper, error) {
+	if k < 1 {
+		return MaskingHelper{}, fmt.Errorf("pairing: masking k=%d < 1", k)
+	}
+	groups := len(basePairs) / k
+	if groups == 0 {
+		return MaskingHelper{}, fmt.Errorf("pairing: %d pairs cannot fill a group of %d", len(basePairs), k)
+	}
+	h := MaskingHelper{K: k, Selected: make([]int, groups)}
+	for g := 0; g < groups; g++ {
+		best, bestAbs := 0, -1.0
+		for i := 0; i < k; i++ {
+			p := basePairs[g*k+i]
+			d := f[p.A] - f[p.B]
+			if d < 0 {
+				d = -d
+			}
+			if d > bestAbs {
+				best, bestAbs = i, d
+			}
+		}
+		h.Selected[g] = best
+	}
+	return h, nil
+}
+
+// SelectedPairs resolves the helper against the fixed base pair list. It
+// validates the helper as an honest device would: selections must index
+// within each group. (The paper's attack on this scheme works through
+// valid selections, so validation does not stop it.)
+func (h MaskingHelper) SelectedPairs(basePairs []Pair) ([]Pair, error) {
+	if h.K < 1 || len(h.Selected)*h.K > len(basePairs) {
+		return nil, fmt.Errorf("pairing: masking helper shape (k=%d, groups=%d) exceeds %d base pairs",
+			h.K, len(h.Selected), len(basePairs))
+	}
+	out := make([]Pair, len(h.Selected))
+	for g, s := range h.Selected {
+		if s < 0 || s >= h.K {
+			return nil, fmt.Errorf("pairing: masking selection %d outside group of %d", s, h.K)
+		}
+		out[g] = basePairs[g*h.K+s]
+	}
+	return out, nil
+}
+
+// Marshal serializes the masking helper for NVM.
+func (h MaskingHelper) Marshal() []byte {
+	buf := make([]byte, 0, 4+2*len(h.Selected))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(h.K))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(h.Selected)))
+	for _, s := range h.Selected {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(s))
+	}
+	return buf
+}
+
+// UnmarshalMasking parses NVM bytes into a masking helper.
+func UnmarshalMasking(data []byte) (MaskingHelper, error) {
+	if len(data) < 4 {
+		return MaskingHelper{}, fmt.Errorf("pairing: masking helper truncated (%d bytes)", len(data))
+	}
+	h := MaskingHelper{K: int(binary.LittleEndian.Uint16(data))}
+	n := int(binary.LittleEndian.Uint16(data[2:]))
+	if len(data) != 4+2*n {
+		return MaskingHelper{}, fmt.Errorf("pairing: masking helper length %d, want %d", len(data), 4+2*n)
+	}
+	h.Selected = make([]int, n)
+	for i := 0; i < n; i++ {
+		h.Selected[i] = int(binary.LittleEndian.Uint16(data[4+2*i:]))
+	}
+	return h, nil
+}
+
+// --- Sequential pairing algorithm (LISA, paper §IV-C, Algorithm 1) ---
+
+// SeqPairHelper is the public helper data of the sequential pairing
+// algorithm: the list of selected pairs in key order.
+type SeqPairHelper struct {
+	Pairs []Pair
+}
+
+// EnrollSeqPair runs Algorithm 1 of the paper on an enrollment frequency
+// snapshot: sort indices by descending frequency; walk the bottom half,
+// pairing entry j with the current top-half cursor i whenever their
+// discrepancy exceeds the threshold. The stored within-pair order follows
+// the policy; src is consulted only for RandomizedStorage.
+func EnrollSeqPair(f []float64, thresholdMHz float64, policy StoragePolicy, src *rng.Source) SeqPairHelper {
+	n := len(f)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return f[idx[a]] > f[idx[b]] })
+
+	var pairs []Pair
+	i := 0
+	for j := (n+1)/2 + 1 - 1; j < n; j++ { // j from ceil(N/2)+1 .. N, zero-based
+		if i >= len(idx) || j >= len(idx) {
+			break
+		}
+		if f[idx[i]]-f[idx[j]] > thresholdMHz {
+			p := Pair{A: idx[i], B: idx[j]} // A is the faster oscillator
+			if policy == RandomizedStorage && src.Bool() {
+				p = p.Swapped()
+			}
+			pairs = append(pairs, p)
+			i++
+		}
+	}
+	return SeqPairHelper{Pairs: pairs}
+}
+
+// Validate applies the sanity checks the paper recommends (and notes are
+// usually missing): indices in range and no oscillator reused across
+// pairs. An attacker-manipulated helper that swaps the POSITIONS of two
+// pairs, or the ORDER within one pair, still passes — which is the point
+// of the attack.
+func (h SeqPairHelper) Validate(n int) error {
+	used := make(map[int]bool)
+	for _, p := range h.Pairs {
+		for _, v := range []int{p.A, p.B} {
+			if v < 0 || v >= n {
+				return fmt.Errorf("pairing: index %d outside array of %d", v, n)
+			}
+			if used[v] {
+				return fmt.Errorf("pairing: oscillator %d reused across pairs", v)
+			}
+			used[v] = true
+		}
+	}
+	return nil
+}
+
+// Marshal serializes the pair list for NVM.
+func (h SeqPairHelper) Marshal() []byte {
+	buf := make([]byte, 0, 2+4*len(h.Pairs))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(h.Pairs)))
+	for _, p := range h.Pairs {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(p.A))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(p.B))
+	}
+	return buf
+}
+
+// UnmarshalSeqPair parses NVM bytes into a sequential-pairing helper.
+func UnmarshalSeqPair(data []byte) (SeqPairHelper, error) {
+	if len(data) < 2 {
+		return SeqPairHelper{}, fmt.Errorf("pairing: seqpair helper truncated")
+	}
+	n := int(binary.LittleEndian.Uint16(data))
+	if len(data) != 2+4*n {
+		return SeqPairHelper{}, fmt.Errorf("pairing: seqpair helper length %d, want %d", len(data), 2+4*n)
+	}
+	h := SeqPairHelper{Pairs: make([]Pair, n)}
+	for i := range h.Pairs {
+		h.Pairs[i].A = int(binary.LittleEndian.Uint16(data[2+4*i:]))
+		h.Pairs[i].B = int(binary.LittleEndian.Uint16(data[4+4*i:]))
+	}
+	return h, nil
+}

@@ -1,0 +1,286 @@
+// Package silicon simulates a ring-oscillator array with manufacturing
+// variability, the hardware substrate every construction in this
+// repository runs on. It substitutes the FPGA prototypes of the attacked
+// proposals (Xilinx Spartan-3 / XC4010XL) with a Monte-Carlo model that
+// captures exactly the properties the paper's analysis depends on:
+//
+//   - random (desired) per-RO process variation,
+//   - systematic, spatially correlated variation modeled as a smooth
+//     polynomial surface over the die (Fig. 2 of the paper, after
+//     Sedcole & Cheung's FPGA measurements),
+//   - measurement noise for every frequency read-out, plus counter
+//     quantization,
+//   - a linear temperature dependence with a per-RO slope spread, so
+//     that pairwise frequency curves cross over temperature exactly as in
+//     Fig. 3 of the paper (good / bad / cooperating pairs), and
+//   - a common supply-voltage dependence.
+//
+// Frequencies are in MHz, temperatures in degrees Celsius, voltages in
+// volts. All randomness flows through explicit rng.Source values so
+// whole experiments replay from one seed.
+package silicon
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Environment is the operating condition of one key reconstruction.
+type Environment struct {
+	TempC    float64
+	VoltageV float64
+}
+
+// Config describes the statistical model of one manufactured RO array.
+type Config struct {
+	// Rows and Cols give the physical layout; N = Rows*Cols oscillators.
+	Rows, Cols int
+
+	// NominalMHz is the design frequency of every oscillator.
+	NominalMHz float64
+
+	// ProcessSigmaMHz is the standard deviation of the random (desired)
+	// per-RO manufacturing variation.
+	ProcessSigmaMHz float64
+
+	// GradientXMHz and GradientYMHz describe the systematic linear trend
+	// across the die: the frequency added at the far edge relative to
+	// the origin, in each direction (the linear trend of Fig. 2).
+	GradientXMHz, GradientYMHz float64
+
+	// BowlMHz adds a quadratic systematic component: a paraboloid that
+	// is zero at the die center and reaches BowlMHz at the corners,
+	// modeling radial process gradients.
+	BowlMHz float64
+
+	// NoiseSigmaMHz is the standard deviation of the additive noise of a
+	// single frequency measurement.
+	NoiseSigmaMHz float64
+
+	// TempCoefMeanMHzPerC is the mean frequency slope versus
+	// temperature; physically negative (frequency drops when the die
+	// heats up).
+	TempCoefMeanMHzPerC float64
+
+	// TempCoefSigmaMHzPerC is the per-RO spread of that slope. A nonzero
+	// spread makes pairwise frequency differences temperature dependent
+	// and produces the crossovers of Fig. 3.
+	TempCoefSigmaMHzPerC float64
+
+	// VoltCoefMHzPerV is the common frequency slope versus supply
+	// voltage (positive: frequency rises with voltage).
+	VoltCoefMHzPerV float64
+
+	// ReferenceTempC and NominalVoltageV define the enrollment
+	// environment in which base frequencies are stated.
+	ReferenceTempC  float64
+	NominalVoltageV float64
+
+	// CounterWindowUS, when positive, enables counter quantization: a
+	// measurement counts rising edges during this many microseconds and
+	// the returned frequency is count / window (the paper's "counter
+	// values are discrete" remark, the root of the ∆f = 0 bias).
+	CounterWindowUS float64
+}
+
+// DefaultConfig returns a parameterization representative of the FPGA RO
+// measurements in the cited literature: ~1% process sigma, a systematic
+// trend of the same order as the random spread, and a temperature slope
+// spread that yields a healthy population of cooperating pairs over the
+// industrial range.
+func DefaultConfig(rows, cols int) Config {
+	return Config{
+		Rows:                 rows,
+		Cols:                 cols,
+		NominalMHz:           200,
+		ProcessSigmaMHz:      2.0,
+		GradientXMHz:         3.0,
+		GradientYMHz:         1.5,
+		BowlMHz:              1.0,
+		NoiseSigmaMHz:        0.05,
+		TempCoefMeanMHzPerC:  -0.20,
+		TempCoefSigmaMHzPerC: 0.02,
+		VoltCoefMHzPerV:      40,
+		ReferenceTempC:       25,
+		NominalVoltageV:      1.2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Rows < 1 || c.Cols < 1 {
+		return fmt.Errorf("silicon: array %dx%d has no oscillators", c.Rows, c.Cols)
+	}
+	if c.NominalMHz <= 0 {
+		return fmt.Errorf("silicon: nominal frequency %v <= 0", c.NominalMHz)
+	}
+	if c.ProcessSigmaMHz < 0 || c.NoiseSigmaMHz < 0 || c.TempCoefSigmaMHzPerC < 0 {
+		return fmt.Errorf("silicon: negative sigma in config")
+	}
+	return nil
+}
+
+// NominalEnv returns the enrollment environment of the config.
+func (c Config) NominalEnv() Environment {
+	return Environment{TempC: c.ReferenceTempC, VoltageV: c.NominalVoltageV}
+}
+
+// Array is one manufactured instance of the configured RO array.
+type Array struct {
+	cfg        Config
+	base       []float64 // per-RO frequency at reference environment
+	systematic []float64 // systematic component of base (for analysis)
+	random     []float64 // random component of base (for analysis)
+	tempCoef   []float64 // per-RO dF/dT
+}
+
+// NewArray manufactures one array instance, drawing its variability from
+// src. It panics on an invalid config (construction parameters are
+// programmer-chosen, not runtime data).
+func NewArray(cfg Config, src *rng.Source) *Array {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Rows * cfg.Cols
+	a := &Array{
+		cfg:        cfg,
+		base:       make([]float64, n),
+		systematic: make([]float64, n),
+		random:     make([]float64, n),
+		tempCoef:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		x, y := a.Pos(i)
+		a.systematic[i] = cfg.systematicAt(x, y)
+		a.random[i] = src.NormScaled(0, cfg.ProcessSigmaMHz)
+		a.base[i] = cfg.NominalMHz + a.systematic[i] + a.random[i]
+		a.tempCoef[i] = src.NormScaled(cfg.TempCoefMeanMHzPerC, cfg.TempCoefSigmaMHzPerC)
+	}
+	return a
+}
+
+// systematicAt evaluates the configured systematic surface at grid
+// coordinates (x, y). Coordinates are normalized to [0, 1] across the die
+// so that gradient magnitudes are layout-size independent.
+func (c Config) systematicAt(x, y int) float64 {
+	nx, ny := 0.0, 0.0
+	if c.Cols > 1 {
+		nx = float64(x) / float64(c.Cols-1)
+	}
+	if c.Rows > 1 {
+		ny = float64(y) / float64(c.Rows-1)
+	}
+	lin := c.GradientXMHz*nx + c.GradientYMHz*ny
+	dx, dy := nx-0.5, ny-0.5
+	bowl := c.BowlMHz * (dx*dx + dy*dy) / 0.5
+	return lin + bowl
+}
+
+// Config returns the array's configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// N returns the oscillator count.
+func (a *Array) N() int { return len(a.base) }
+
+// Rows returns the layout row count.
+func (a *Array) Rows() int { return a.cfg.Rows }
+
+// Cols returns the layout column count.
+func (a *Array) Cols() int { return a.cfg.Cols }
+
+// Pos maps an oscillator index to its (x, y) = (column, row) grid
+// position; indices scan row-major, matching the univariate labeling of
+// the paper's Section II.
+func (a *Array) Pos(i int) (x, y int) {
+	return i % a.cfg.Cols, i / a.cfg.Cols
+}
+
+// Index maps a grid position back to the oscillator index.
+func (a *Array) Index(x, y int) int {
+	if x < 0 || x >= a.cfg.Cols || y < 0 || y >= a.cfg.Rows {
+		panic(fmt.Sprintf("silicon: position (%d,%d) outside %dx%d", x, y, a.cfg.Cols, a.cfg.Rows))
+	}
+	return y*a.cfg.Cols + x
+}
+
+// TrueFreq returns the noise-free frequency of oscillator i in the given
+// environment: base + tempCoef*(T - Tref) + voltCoef*(V - Vnom).
+func (a *Array) TrueFreq(i int, env Environment) float64 {
+	return a.base[i] +
+		a.tempCoef[i]*(env.TempC-a.cfg.ReferenceTempC) +
+		a.cfg.VoltCoefMHzPerV*(env.VoltageV-a.cfg.NominalVoltageV)
+}
+
+// Measure performs one noisy frequency measurement of oscillator i,
+// applying counter quantization when configured.
+func (a *Array) Measure(i int, env Environment, src *rng.Source) float64 {
+	f := a.TrueFreq(i, env) + src.NormScaled(0, a.cfg.NoiseSigmaMHz)
+	if a.cfg.CounterWindowUS > 0 {
+		// count = floor(f_MHz * window_us) edges; frequency estimate is
+		// the count scaled back. This floors toward zero, the usual
+		// ripple-counter behaviour.
+		count := math.Floor(f * a.cfg.CounterWindowUS)
+		f = count / a.cfg.CounterWindowUS
+	}
+	return f
+}
+
+// MeasureAll measures every oscillator once in the given environment.
+func (a *Array) MeasureAll(env Environment, src *rng.Source) []float64 {
+	out := make([]float64, a.N())
+	for i := range out {
+		out[i] = a.Measure(i, env, src)
+	}
+	return out
+}
+
+// MeasureAveraged measures every oscillator `reps` times and returns the
+// per-oscillator means — the standard enrollment-time noise reduction.
+func (a *Array) MeasureAveraged(env Environment, src *rng.Source, reps int) []float64 {
+	if reps < 1 {
+		panic("silicon: MeasureAveraged needs reps >= 1")
+	}
+	out := make([]float64, a.N())
+	for i := range out {
+		var s float64
+		for r := 0; r < reps; r++ {
+			s += a.Measure(i, env, src)
+		}
+		out[i] = s / float64(reps)
+	}
+	return out
+}
+
+// TempCoef returns the per-RO temperature slope (exposed for analysis and
+// for the temperature-aware construction's enrollment, which the original
+// proposal performs with measurements at two environmental extremes).
+func (a *Array) TempCoef(i int) float64 { return a.tempCoef[i] }
+
+// SystematicComponent returns the systematic part of oscillator i's base
+// frequency; analysis-only (a real attacker cannot read this directly,
+// but the entropy distiller estimates it).
+func (a *Array) SystematicComponent(i int) float64 { return a.systematic[i] }
+
+// RandomComponent returns the random part of oscillator i's base
+// frequency; analysis-only.
+func (a *Array) RandomComponent(i int) float64 { return a.random[i] }
+
+// PairDeltaF returns the noise-free frequency difference f_i - f_j in the
+// given environment.
+func (a *Array) PairDeltaF(i, j int, env Environment) float64 {
+	return a.TrueFreq(i, env) - a.TrueFreq(j, env)
+}
+
+// CrossoverTemp returns the temperature at which oscillators i and j swap
+// order, and ok=false when their temperature slopes are (numerically)
+// identical so no crossover exists.
+func (a *Array) CrossoverTemp(i, j int) (float64, bool) {
+	dSlope := a.tempCoef[i] - a.tempCoef[j]
+	if math.Abs(dSlope) < 1e-12 {
+		return 0, false
+	}
+	dBase := a.base[i] - a.base[j]
+	return a.cfg.ReferenceTempC - dBase/dSlope, true
+}

@@ -1,0 +1,436 @@
+// Package tempco implements the temperature-aware cooperative RO PUF of
+// Yin & Qu (HOST 2009), attacked in Section VI-B of the paper.
+//
+// Disjoint neighbor pairs are classified over a user-defined operating
+// range [Tmin, Tmax] using a linear per-pair frequency-difference model
+// ∆f(T) (Fig. 3 of the paper):
+//
+//   - good pairs keep |∆f(T)| above the threshold everywhere and yield
+//     one reliable bit each;
+//   - bad pairs never exceed the threshold and are discarded;
+//   - cooperating pairs are reliable except inside a crossover interval
+//     [Tl, Th]; there they borrow the bit of another cooperating pair
+//     (with a non-intersecting interval), masked by a good pair's bit so
+//     the helper reveals nothing — provided the helping pair is chosen
+//     at random among the candidates satisfying the masking constraint,
+//     which is exactly the leakage subtlety the paper points out.
+//
+// Helper NVM stores, per cooperating pair: Tl, Th, the mask (good) pair
+// index and the helping (cooperating) pair index. Outside the interval
+// the device compensates the crossover itself by inverting the measured
+// bit when T > Th. All of it is attacker-writable.
+package tempco
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/ecc"
+	"repro/internal/pairing"
+	"repro/internal/rng"
+	"repro/internal/silicon"
+)
+
+// PairClass is the Fig. 3 classification of a pair.
+type PairClass int
+
+// Pair classes.
+const (
+	Good PairClass = iota
+	Bad
+	Cooperating
+)
+
+// String implements fmt.Stringer.
+func (c PairClass) String() string {
+	switch c {
+	case Good:
+		return "good"
+	case Bad:
+		return "bad"
+	case Cooperating:
+		return "cooperating"
+	}
+	return fmt.Sprintf("PairClass(%d)", int(c))
+}
+
+// PairInfo is the public helper record of one pair.
+type PairInfo struct {
+	Pair  pairing.Pair
+	Class PairClass
+	// Tl, Th bound the crossover interval; meaningful for Cooperating.
+	Tl, Th float64
+	// MaskIdx is the index (into the pair list) of the good pair whose
+	// bit masks the cooperation; -1 when unused.
+	MaskIdx int
+	// HelpIdx is the index of the cooperating pair providing the bit
+	// inside the interval; -1 when unused.
+	HelpIdx int
+}
+
+// SelectionPolicy controls how the helping pair is chosen among the
+// candidates satisfying the masking constraint rc1 XOR rg1 = rci.
+type SelectionPolicy int
+
+const (
+	// RandomSelection draws uniformly among satisfying candidates — the
+	// paper's requirement for leakage freedom.
+	RandomSelection SelectionPolicy = iota
+	// DeterministicSelection takes the first satisfying candidate in
+	// index order. The paper: this "exposes the following information
+	// for all non-selected candidates: rcj != rci". Included for the
+	// leakage ablation.
+	DeterministicSelection
+)
+
+// Params configures a temperature-aware cooperative PUF.
+type Params struct {
+	Rows, Cols   int
+	ThresholdMHz float64
+	// TminC, TmaxC bound the user-defined operating range.
+	TminC, TmaxC float64
+	// Policy selects the helping-pair selection strategy.
+	Policy SelectionPolicy
+	// Code is the final ECC over the response bits (paper §VI assumes
+	// one for all constructions); the bit stream is padded to blocks.
+	Code ecc.Code
+	// EnrollReps is the per-extreme measurement averaging factor.
+	EnrollReps int
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.Rows < 1 || p.Cols < 1 {
+		return fmt.Errorf("tempco: invalid layout %dx%d", p.Rows, p.Cols)
+	}
+	if p.ThresholdMHz <= 0 {
+		return fmt.Errorf("tempco: threshold %v <= 0", p.ThresholdMHz)
+	}
+	if p.TminC >= p.TmaxC {
+		return fmt.Errorf("tempco: empty operating range [%v,%v]", p.TminC, p.TmaxC)
+	}
+	if p.Code == nil {
+		return errors.New("tempco: nil ECC")
+	}
+	if p.EnrollReps < 1 {
+		return fmt.Errorf("tempco: enrollment reps %d < 1", p.EnrollReps)
+	}
+	return nil
+}
+
+// Helper is the construction's complete public helper data.
+type Helper struct {
+	Pairs  []PairInfo
+	Offset bitvec.Vector
+}
+
+// ErrReconstructFailed is the observable reconstruction failure.
+var ErrReconstructFailed = errors.New("tempco: key reconstruction failed")
+
+// classify fits the two-point linear model ∆f(T) of one pair and returns
+// its class and crossover interval within the operating range.
+func classify(d0, d1, t0, t1, th, tmin, tmax float64) (PairClass, float64, float64) {
+	slope := (d1 - d0) / (t1 - t0)
+	at := func(t float64) float64 { return d0 + slope*(t-t0) }
+	// |∆f(T)| <= th on the interval where the line is inside [-th, th].
+	var lo, hi float64
+	if math.Abs(slope) < 1e-12 {
+		if math.Abs(d0) > th {
+			return Good, 0, 0
+		}
+		return Bad, 0, 0
+	}
+	tAtMinus := t0 + (-th-d0)/slope
+	tAtPlus := t0 + (th-d0)/slope
+	lo, hi = math.Min(tAtMinus, tAtPlus), math.Max(tAtMinus, tAtPlus)
+	if hi < tmin || lo > tmax {
+		return Good, 0, 0
+	}
+	if lo <= tmin && hi >= tmax {
+		return Bad, 0, 0
+	}
+	if lo <= tmin || hi >= tmax {
+		// Unreliable region touches a range boundary: no stable
+		// reference on one side. Discard.
+		return Bad, 0, 0
+	}
+	// Sanity: a genuine crossover flips the sign across the interval.
+	if at(tmin)*at(tmax) >= 0 {
+		return Bad, 0, 0
+	}
+	return Cooperating, lo, hi
+}
+
+// Enroll measures the array at both operating extremes (the original
+// proposal's procedure), classifies every disjoint neighbor pair, wires
+// up the cooperation helper records, and computes the ECC offset over
+// the reference response.
+func Enroll(a *silicon.Array, p Params, src *rng.Source) (Helper, bitvec.Vector, error) {
+	if err := p.Validate(); err != nil {
+		return Helper{}, bitvec.Vector{}, err
+	}
+	v := a.Config().NominalVoltageV
+	fMin := a.MeasureAveraged(silicon.Environment{TempC: p.TminC, VoltageV: v}, src, p.EnrollReps)
+	fMax := a.MeasureAveraged(silicon.Environment{TempC: p.TmaxC, VoltageV: v}, src, p.EnrollReps)
+
+	pairs := pairing.ChainPairs(p.Rows, p.Cols, true)
+	infos := make([]PairInfo, len(pairs))
+	refBits := make([]bool, len(pairs)) // low-temperature-side reference
+	var goodIdx, coopIdx []int
+	for i, pr := range pairs {
+		d0 := fMin[pr.A] - fMin[pr.B]
+		d1 := fMax[pr.A] - fMax[pr.B]
+		class, tl, th := classify(d0, d1, p.TminC, p.TmaxC, p.ThresholdMHz, p.TminC, p.TmaxC)
+		infos[i] = PairInfo{Pair: pr, Class: class, Tl: tl, Th: th, MaskIdx: -1, HelpIdx: -1}
+		refBits[i] = d0 > 0
+		switch class {
+		case Good:
+			goodIdx = append(goodIdx, i)
+		case Cooperating:
+			coopIdx = append(coopIdx, i)
+		}
+	}
+
+	// Wire cooperation: each cooperating pair needs a good mask pair and
+	// a helping cooperating pair with a non-intersecting interval whose
+	// reference bit satisfies rc XOR rg = rci.
+	if len(goodIdx) == 0 && len(coopIdx) > 0 {
+		return Helper{}, bitvec.Vector{}, errors.New("tempco: no good pairs available for masking")
+	}
+	for _, c := range coopIdx {
+		assigned := false
+		// Try masks in random order so failures do not bias selection.
+		maskOrder := src.Perm(len(goodIdx))
+		for _, mi := range maskOrder {
+			g := goodIdx[mi]
+			want := refBits[c] != refBits[g] // rc XOR rg
+			var candidates []int
+			for _, j := range coopIdx {
+				if j == c {
+					continue
+				}
+				if intervalsIntersect(infos[c].Tl, infos[c].Th, infos[j].Tl, infos[j].Th) {
+					continue
+				}
+				if refBits[j] == want {
+					candidates = append(candidates, j)
+				}
+			}
+			if len(candidates) == 0 {
+				continue
+			}
+			pick := candidates[0]
+			if p.Policy == RandomSelection {
+				pick = candidates[src.Intn(len(candidates))]
+			}
+			infos[c].MaskIdx = g
+			infos[c].HelpIdx = pick
+			assigned = true
+			break
+		}
+		if !assigned {
+			// No viable cooperation: demote to bad.
+			infos[c].Class = Bad
+		}
+	}
+
+	resp := responseFromBits(infos, refBits)
+	padded, blocks := padToBlocks(resp, p.Code)
+	block := ecc.NewBlock(p.Code, blocks)
+	offset := ecc.EnrollOffset(block, padded, src)
+	key := keyBits(infos, padded)
+	return Helper{Pairs: infos, Offset: offset.W}, key, nil
+}
+
+func intervalsIntersect(al, ah, bl, bh float64) bool {
+	return al <= bh && bl <= ah
+}
+
+// responseFromBits lays the reference bits of all pairs (bad pairs
+// included as placeholder zeros, keeping indices aligned) into the ECC
+// input stream.
+func responseFromBits(infos []PairInfo, bits []bool) bitvec.Vector {
+	out := bitvec.New(len(infos))
+	for i, info := range infos {
+		if info.Class == Bad {
+			continue
+		}
+		out.Set(i, bits[i])
+	}
+	return out
+}
+
+// keyBits extracts the key from the (corrected) stream: the bits of good
+// and cooperating pairs in pair order.
+func keyBits(infos []PairInfo, stream bitvec.Vector) bitvec.Vector {
+	key := bitvec.New(0)
+	for i, info := range infos {
+		if info.Class == Bad {
+			continue
+		}
+		b := bitvec.New(1)
+		b.Set(0, stream.Get(i))
+		key = key.Concat(b)
+	}
+	return key
+}
+
+func padToBlocks(stream bitvec.Vector, code ecc.Code) (bitvec.Vector, int) {
+	n := code.N()
+	blocks := (stream.Len() + n - 1) / n
+	if blocks == 0 {
+		blocks = 1
+	}
+	return stream.Concat(bitvec.New(blocks*n - stream.Len())), blocks
+}
+
+// resolveBit reconstructs the bit of pair i at temperature T from a
+// fresh frequency snapshot, without cooperation (crossover compensation
+// only): measured sign, inverted above Th.
+func resolveBit(info PairInfo, f []float64, tempC float64) bool {
+	b := pairing.ResponseBit(f, info.Pair)
+	if info.Class == Cooperating && tempC > info.Th {
+		b = !b
+	}
+	return b
+}
+
+// Reconstruct regenerates the key at the given environment temperature
+// from (possibly manipulated) helper data. Structural validation mirrors
+// an honest device: index ranges and class tags are checked; the helping
+// pair must be outside its own declared interval at the current
+// temperature. Values of Tl/Th themselves are trusted — they are helper
+// data, and that trust is what the paper's acceleration trick abuses.
+func Reconstruct(a *silicon.Array, p Params, h Helper, env silicon.Environment, src *rng.Source) (bitvec.Vector, error) {
+	if err := ValidateHelper(h, a.N()); err != nil {
+		return bitvec.Vector{}, err
+	}
+	f := a.MeasureAll(env, src)
+	t := env.TempC
+	bits := bitvec.New(len(h.Pairs))
+	for i, info := range h.Pairs {
+		switch info.Class {
+		case Bad:
+			continue
+		case Good:
+			bits.Set(i, pairing.ResponseBit(f, info.Pair))
+		case Cooperating:
+			if t < info.Tl || t > info.Th {
+				bits.Set(i, resolveBit(info, f, t))
+				continue
+			}
+			// Inside the crossover interval: borrow the helping pair's
+			// bit, unmasked by the good pair's bit.
+			help := h.Pairs[info.HelpIdx]
+			if t >= help.Tl && t <= help.Th {
+				return bitvec.Vector{}, fmt.Errorf("tempco: helping pair %d unreliable at %v C: %w",
+					info.HelpIdx, t, ErrReconstructFailed)
+			}
+			mask := h.Pairs[info.MaskIdx]
+			bits.Set(i, resolveBit(help, f, t) != pairing.ResponseBit(f, mask.Pair))
+		}
+	}
+	padded, blocks := padToBlocks(bits, p.Code)
+	if padded.Len() != h.Offset.Len() {
+		return bitvec.Vector{}, fmt.Errorf("tempco: offset length %d, stream %d", h.Offset.Len(), padded.Len())
+	}
+	block := ecc.NewBlock(p.Code, blocks)
+	corrected, _, ok := ecc.Reproduce(block, ecc.Offset{W: h.Offset}, padded)
+	if !ok {
+		return bitvec.Vector{}, ErrReconstructFailed
+	}
+	return keyBits(h.Pairs, corrected), nil
+}
+
+// ValidateHelper applies the honest device's structural checks.
+func ValidateHelper(h Helper, n int) error {
+	for i, info := range h.Pairs {
+		for _, v := range []int{info.Pair.A, info.Pair.B} {
+			if v < 0 || v >= n {
+				return fmt.Errorf("tempco: pair %d references oscillator %d of %d", i, v, n)
+			}
+		}
+		if info.Class == Cooperating {
+			if info.Tl > info.Th {
+				return fmt.Errorf("tempco: pair %d has inverted interval", i)
+			}
+			if info.MaskIdx < 0 || info.MaskIdx >= len(h.Pairs) || h.Pairs[info.MaskIdx].Class != Good {
+				return fmt.Errorf("tempco: pair %d mask index invalid", i)
+			}
+			if info.HelpIdx < 0 || info.HelpIdx >= len(h.Pairs) || h.Pairs[info.HelpIdx].Class != Cooperating || info.HelpIdx == i {
+				return fmt.Errorf("tempco: pair %d help index invalid", i)
+			}
+		}
+	}
+	return nil
+}
+
+// CountClasses tallies the classification for reporting (Fig. 3 / E3).
+func CountClasses(h Helper) (good, bad, coop int) {
+	for _, info := range h.Pairs {
+		switch info.Class {
+		case Good:
+			good++
+		case Bad:
+			bad++
+		case Cooperating:
+			coop++
+		}
+	}
+	return
+}
+
+// --- NVM serialization ---
+
+// Marshal serializes the helper for NVM.
+func (h Helper) Marshal() []byte {
+	buf := binary.LittleEndian.AppendUint16(nil, uint16(len(h.Pairs)))
+	for _, info := range h.Pairs {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(info.Pair.A))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(info.Pair.B))
+		buf = append(buf, byte(info.Class))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(info.Tl))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(info.Th))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(int16(info.MaskIdx)))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(int16(info.HelpIdx)))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.Offset.Len()))
+	buf = append(buf, h.Offset.Bytes()...)
+	return buf
+}
+
+// UnmarshalHelper parses NVM bytes into a helper.
+func UnmarshalHelper(data []byte) (Helper, error) {
+	const rec = 2 + 2 + 1 + 8 + 8 + 2 + 2
+	if len(data) < 2 {
+		return Helper{}, errors.New("tempco: helper truncated")
+	}
+	n := int(binary.LittleEndian.Uint16(data))
+	at := 2
+	if len(data) < at+n*rec+4 {
+		return Helper{}, errors.New("tempco: helper truncated")
+	}
+	h := Helper{Pairs: make([]PairInfo, n)}
+	for i := range h.Pairs {
+		p := &h.Pairs[i]
+		p.Pair.A = int(binary.LittleEndian.Uint16(data[at:]))
+		p.Pair.B = int(binary.LittleEndian.Uint16(data[at+2:]))
+		p.Class = PairClass(data[at+4])
+		p.Tl = math.Float64frombits(binary.LittleEndian.Uint64(data[at+5:]))
+		p.Th = math.Float64frombits(binary.LittleEndian.Uint64(data[at+13:]))
+		p.MaskIdx = int(int16(binary.LittleEndian.Uint16(data[at+21:])))
+		p.HelpIdx = int(int16(binary.LittleEndian.Uint16(data[at+23:])))
+		at += rec
+	}
+	obits := int(binary.LittleEndian.Uint32(data[at:]))
+	at += 4
+	v, err := bitvec.FromBytes(data[at:], obits)
+	if err != nil {
+		return Helper{}, fmt.Errorf("tempco: offset: %w", err)
+	}
+	h.Offset = v
+	return h, nil
+}
