@@ -7,8 +7,11 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/perm"
 )
@@ -207,7 +210,9 @@ func BenchmarkFuzzyExtractorResistance(b *testing.B) {
 }
 
 // BenchmarkAblationStoragePolicy (A1, §VII-C) quantifies the direct
-// leakage of sorted versus randomized within-pair storage.
+// leakage of sorted versus randomized within-pair storage. The sweep
+// fans out over the campaign pool (timing is pooled on multi-core
+// hosts; the reported fractions are worker-count invariant).
 func BenchmarkAblationStoragePolicy(b *testing.B) {
 	var r experiments.StorageLeakage
 	var err error
@@ -248,6 +253,8 @@ func BenchmarkEntropyLog2Factorial(b *testing.B) {
 
 // BenchmarkAblationOffsetSize (A4) sweeps the common offset of Fig. 5
 // from 1 to the code radius, reporting the calibrated rate separation.
+// The offset levels fan out over the campaign pool (timing is pooled on
+// multi-core hosts; the reported metrics are worker-count invariant).
 func BenchmarkAblationOffsetSize(b *testing.B) {
 	var rows []experiments.OffsetSizeRow
 	var err error
@@ -263,8 +270,56 @@ func BenchmarkAblationOffsetSize(b *testing.B) {
 	b.ReportMetric(float64(last.Queries), "queries-at-t")
 }
 
+// BenchmarkCampaignAttackSuccess measures the campaign engine's
+// parallel-vs-serial wall clock on the heaviest registered task: all
+// five attacks per seed over an 8-seed population. The workers-1 run is
+// the serial baseline; on an N-core host the workers-8 run approaches
+// min(8, N)x speedup (the per-seed work is embarrassingly parallel and
+// allocation-light). Aggregates are asserted bit-identical across
+// worker counts on every iteration.
+func BenchmarkCampaignAttackSuccess(b *testing.B) {
+	const seeds = 8
+	baseline, err := experiments.MeasureAttackSuccessWorkers(context.Background(), 1000, seeds, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.MeasureAttackSuccessWorkers(context.Background(), 1000, seeds, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r != baseline {
+					b.Fatalf("workers=%d diverged from serial: %+v vs %+v", workers, r, baseline)
+				}
+			}
+			b.ReportMetric(float64(seeds), "seeds")
+		})
+	}
+}
+
+// BenchmarkCampaignEngine measures the engine's own fan-out overhead on
+// a lighter task (the Fig. 2 variance decomposition), serial vs pooled.
+func BenchmarkCampaignEngine(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("fig2-workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := campaign.Run(context.Background(), campaign.Spec{
+					Task: "fig2", BaseSeed: 7, Seeds: 16, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAttackSuccessRates (R1) measures exact-recovery rates of all
-// attacks over a device population.
+// attacks over a device population. MeasureAttackSuccess fans out over
+// the campaign pool, so this timing reflects the pooled path on
+// multi-core hosts; BenchmarkCampaignAttackSuccess/workers-1 is the
+// serial baseline.
 func BenchmarkAttackSuccessRates(b *testing.B) {
 	var r experiments.AttackSuccessRates
 	var err error

@@ -1,0 +1,100 @@
+// Command puf-campaign runs a registered experiment across a range of
+// derived device seeds on a bounded worker pool and prints aggregated
+// campaign statistics (mean, stddev, min/max, and Wilson 95% intervals
+// for binary outcomes such as key recovery).
+//
+// The aggregates are bit-identical for any -workers value: every task
+// instance draws its randomness from a seed derived purely from the
+// campaign base seed and the task index.
+//
+// Usage:
+//
+//	puf-campaign -list
+//	puf-campaign -task attack-success -seeds 64 -workers 8
+//	puf-campaign -task seqpair-attack -seeds 100 -base 42 -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/campaign"
+	_ "repro/internal/experiments" // registers every experiment task
+)
+
+func main() {
+	task := flag.String("task", "", "registered task name (see -list)")
+	list := flag.Bool("list", false, "list registered tasks and exit")
+	seeds := flag.Int("seeds", 16, "number of derived seeds (task instances)")
+	base := flag.Uint64("base", 1, "campaign base seed")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
+	verbose := flag.Bool("v", false, "also print per-seed outcomes")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-20s %-10s %s\n", "TASK", "FIGURE", "DESCRIPTION")
+		for _, t := range campaign.Tasks() {
+			fig := t.Figure
+			if fig == "" {
+				fig = "-"
+			}
+			fmt.Printf("%-20s %-10s %s\n", t.Name, fig, t.Desc)
+		}
+		return
+	}
+	if *task == "" {
+		fmt.Fprintln(os.Stderr, "puf-campaign: -task is required (use -list to see tasks)")
+		os.Exit(2)
+	}
+
+	// Ctrl-C cancels the campaign cleanly mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	res, err := campaign.Run(ctx, campaign.Spec{
+		Task:     *task,
+		BaseSeed: *base,
+		Seeds:    *seeds,
+		Workers:  *workers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "puf-campaign:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "puf-campaign:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("campaign %s: %d seeds (base %d), %d workers, %s\n",
+		res.Task, res.Seeds, res.BaseSeed, res.Workers, elapsed.Round(time.Millisecond))
+	if *verbose {
+		for _, o := range res.Outcomes {
+			fmt.Printf("  seed[%3d] = %#016x: %v\n", o.Index, o.Seed, o.Metrics)
+		}
+	}
+	fmt.Printf("%-26s %6s %12s %12s %12s %12s %s\n",
+		"METRIC", "N", "MEAN", "STDDEV", "MIN", "MAX", "WILSON-95%")
+	for _, a := range res.Aggregates {
+		wilson := ""
+		if a.Binary {
+			wilson = fmt.Sprintf("[%.3f, %.3f] (%d/%d)", a.WilsonLo, a.WilsonHi, a.Successes, a.N)
+		}
+		fmt.Printf("%-26s %6d %12.4f %12.4f %12.4f %12.4f %s\n",
+			a.Metric, a.N, a.Mean, a.Stddev, a.Min, a.Max, wilson)
+	}
+}

@@ -1,0 +1,324 @@
+// Package campaign is the repository's parallel experiment engine: it
+// runs any registered experiment across a range of device seeds on a
+// bounded pool of worker goroutines and aggregates the per-seed metrics
+// into campaign statistics (mean, stddev, Wilson confidence intervals
+// for binary outcomes).
+//
+// Determinism is the design constraint. Every task instance draws its
+// randomness from a seed derived purely from (campaign base seed, task
+// index) via rng.StreamSeed, and aggregation walks outcomes in task-index
+// order — so a campaign's numbers are bit-identical whether it runs on
+// one worker or sixty-four. That property is what lets the test suite
+// assert -workers=1 and -workers=8 agree exactly, and what makes
+// regenerated paper figures trustworthy regardless of the host.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Metrics is one task execution's output: named scalar results (a
+// recovery indicator, an oracle-query count, a variance, ...).
+type Metrics map[string]float64
+
+// Task is one registered experiment entry point behind the uniform
+// Spec → Result interface.
+type Task struct {
+	// Name is the campaign-unique task identifier (kebab-case).
+	Name string
+	// Desc is a one-line human description.
+	Desc string
+	// Figure names the paper table/figure the task reproduces ("" for
+	// ablations and robustness checks).
+	Figure string
+	// Binary names the metrics that are success indicators (0/1 by
+	// construction); only these get Wilson intervals. Value-sniffing is
+	// deliberately not done: a count metric that happens to be all 0s
+	// and 1s over a small campaign must not masquerade as a proportion.
+	Binary []string
+	// Run executes the experiment for one derived seed. The context is
+	// the campaign's: long tasks that fan out internally should pass it
+	// down so cancellation reaches them mid-task. Run must be safe to
+	// call concurrently from multiple goroutines (all repository
+	// experiments are: their state is rooted in per-call rng.Sources).
+	Run func(ctx context.Context, seed uint64) (Metrics, error)
+}
+
+// Spec selects a task and shapes one campaign over it.
+type Spec struct {
+	// Task is the registered task name.
+	Task string
+	// BaseSeed is the campaign base; task i runs with
+	// rng.StreamSeed(BaseSeed, i).
+	BaseSeed uint64
+	// Seeds is the number of task instances (0 = 1).
+	Seeds int
+	// Workers bounds the goroutine pool (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Outcome is one completed task instance.
+type Outcome struct {
+	Index   int     `json:"index"`
+	Seed    uint64  `json:"seed"`
+	Metrics Metrics `json:"metrics"`
+}
+
+// Aggregate is the campaign-level summary of one metric.
+type Aggregate struct {
+	Metric string  `json:"metric"`
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// Binary marks 0/1-valued metrics (recovery indicators); for those
+	// the Wilson 95% score interval of the success fraction is reported.
+	Binary    bool    `json:"binary"`
+	Successes int     `json:"successes,omitempty"`
+	WilsonLo  float64 `json:"wilson_lo,omitempty"`
+	WilsonHi  float64 `json:"wilson_hi,omitempty"`
+}
+
+// Result is a completed campaign.
+type Result struct {
+	Task       string      `json:"task"`
+	BaseSeed   uint64      `json:"base_seed"`
+	Seeds      int         `json:"seeds"`
+	Workers    int         `json:"workers"`
+	Outcomes   []Outcome   `json:"outcomes"`
+	Aggregates []Aggregate `json:"aggregates"`
+}
+
+// ---------------------------------------------------------- registry --
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Task)
+)
+
+// Register adds a task to the global registry. It panics on an empty or
+// duplicate name — both are programming errors caught at init time.
+func Register(t Task) {
+	if t.Name == "" || t.Run == nil {
+		panic("campaign: Register with empty name or nil Run")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[t.Name]; dup {
+		panic(fmt.Sprintf("campaign: duplicate task %q", t.Name))
+	}
+	registry[t.Name] = t
+}
+
+// Lookup resolves a registered task by name.
+func Lookup(name string) (Task, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	t, ok := registry[name]
+	return t, ok
+}
+
+// Tasks returns all registered tasks sorted by name.
+func Tasks() []Task {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Task, 0, len(registry))
+	for _, t := range registry {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// -------------------------------------------------------------- pool --
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of `workers`
+// goroutines (0 or negative = GOMAXPROCS, capped at n). The first error
+// cancels all pending work (fail-fast); in-flight tasks finish. The
+// returned error is the failure with the lowest index — deterministic
+// even when several workers fail concurrently — or the parent context's
+// error when the campaign was cancelled from outside.
+//
+// This is the primitive under Run; the experiments package also uses it
+// directly to fan out multi-seed sweeps whose aggregation does not fit
+// the Metrics shape.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if poolCtx.Err() != nil {
+					return
+				}
+				if err := fn(poolCtx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-poolCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("campaign: task %d: %w", i, err)
+		}
+	}
+	return ctx.Err()
+}
+
+// --------------------------------------------------------------- run --
+
+// Run executes one campaign: Seeds instances of the named task fan out
+// over the worker pool, each on its order-independent derived seed, and
+// the per-metric aggregates are computed in index order. The aggregate
+// numbers are identical for any Workers value.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	task, ok := Lookup(spec.Task)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown task %q (have %s)", spec.Task, taskNames())
+	}
+	if spec.Seeds <= 0 {
+		spec.Seeds = 1
+	}
+	if spec.Workers <= 0 {
+		spec.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	outcomes := make([]Outcome, spec.Seeds)
+	err := ForEach(ctx, spec.Seeds, spec.Workers, func(taskCtx context.Context, i int) error {
+		seed := rng.StreamSeed(spec.BaseSeed, uint64(i))
+		m, err := task.Run(taskCtx, seed)
+		if err != nil {
+			return fmt.Errorf("%s seed %#x: %w", task.Name, seed, err)
+		}
+		outcomes[i] = Outcome{Index: i, Seed: seed, Metrics: m}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	binary := make(map[string]bool, len(task.Binary))
+	for _, name := range task.Binary {
+		binary[name] = true
+	}
+	return &Result{
+		Task:       task.Name,
+		BaseSeed:   spec.BaseSeed,
+		Seeds:      spec.Seeds,
+		Workers:    spec.Workers,
+		Outcomes:   outcomes,
+		Aggregates: aggregate(outcomes, binary),
+	}, nil
+}
+
+func taskNames() []string {
+	ts := Tasks()
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// aggregate summarizes each metric across outcomes. Metric names are
+// sorted and values are visited in task-index order, so the result is a
+// pure function of the outcome set. Metrics in the binary set get Wilson
+// intervals — unless a value outside {0, 1} shows up, which demotes the
+// metric rather than report a nonsensical proportion.
+func aggregate(outcomes []Outcome, binary map[string]bool) []Aggregate {
+	names := make(map[string]bool)
+	for _, o := range outcomes {
+		for k := range o.Metrics {
+			names[k] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for k := range names {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	aggs := make([]Aggregate, 0, len(sorted))
+	for _, name := range sorted {
+		var vals []float64
+		for _, o := range outcomes {
+			if v, ok := o.Metrics[name]; ok {
+				vals = append(vals, v)
+			}
+		}
+		a := Aggregate{
+			Metric: name,
+			N:      len(vals),
+			Mean:   stats.Mean(vals),
+			Stddev: stats.Stddev(vals),
+			Binary: binary[name],
+		}
+		a.Min, a.Max = vals[0], vals[0]
+		for _, v := range vals {
+			if v < a.Min {
+				a.Min = v
+			}
+			if v > a.Max {
+				a.Max = v
+			}
+			switch v {
+			case 0:
+			case 1:
+				a.Successes++
+			default:
+				a.Binary = false
+			}
+		}
+		if a.Binary {
+			a.WilsonLo, a.WilsonHi = stats.WilsonInterval(a.Successes, a.N, 0.95)
+		} else {
+			a.Successes = 0
+		}
+		aggs = append(aggs, a)
+	}
+	return aggs
+}
+
+// Bool converts a success indicator to the 0/1 metric convention that
+// triggers Wilson aggregation.
+func Bool(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

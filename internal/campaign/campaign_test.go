@@ -1,0 +1,181 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func init() {
+	// A deterministic CPU-ish task: a short random walk whose outcome
+	// depends on every draw, so any seed or ordering slip shows up.
+	Register(Task{
+		Name:   "test-walk",
+		Desc:   "deterministic random walk (test fixture)",
+		Binary: []string{"recovered"},
+		Run: func(_ context.Context, seed uint64) (Metrics, error) {
+			src := rng.New(seed)
+			var sum float64
+			for i := 0; i < 1000; i++ {
+				sum += src.Norm()
+			}
+			return Metrics{
+				"walk-sum":  sum,
+				"recovered": Bool(sum > 0),
+				// All-zero count metric: must NOT be aggregated as a
+				// proportion despite every value being in {0, 1},
+				// because it is not declared in Binary.
+				"zero-count": 0,
+			}, nil
+		},
+	})
+	Register(Task{
+		Name: "test-fail-on-odd-seed",
+		Desc: "fails for odd derived seeds (test fixture)",
+		Run: func(_ context.Context, seed uint64) (Metrics, error) {
+			if seed%2 == 1 {
+				return nil, fmt.Errorf("odd seed %#x", seed)
+			}
+			return Metrics{"ok": 1}, nil
+		},
+	})
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) *Result {
+		res, err := Run(context.Background(), Spec{
+			Task: "test-walk", BaseSeed: 1234, Seeds: 32, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial.Outcomes, parallel.Outcomes) {
+		t.Fatal("per-seed outcomes differ between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(serial.Aggregates, parallel.Aggregates) {
+		t.Fatalf("aggregates differ:\n1 worker: %+v\n8 workers: %+v",
+			serial.Aggregates, parallel.Aggregates)
+	}
+	// The declared binary metric must carry a Wilson interval; the
+	// real-valued metric and the undeclared 0-valued count must not.
+	for _, a := range serial.Aggregates {
+		switch a.Metric {
+		case "recovered":
+			if !a.Binary || a.WilsonLo >= a.WilsonHi {
+				t.Fatalf("recovered aggregate not Wilson-summarized: %+v", a)
+			}
+		case "walk-sum", "zero-count":
+			if a.Binary {
+				t.Fatalf("%s misclassified as binary: %+v", a.Metric, a)
+			}
+		}
+	}
+}
+
+func TestRunErrorPropagatesAndFailsFast(t *testing.T) {
+	_, err := Run(context.Background(), Spec{
+		Task: "test-fail-on-odd-seed", BaseSeed: 7, Seeds: 64, Workers: 4,
+	})
+	if err == nil {
+		t.Fatal("expected an error from the failing task")
+	}
+	if !strings.Contains(err.Error(), "odd seed") {
+		t.Fatalf("error lost the task's cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "test-fail-on-odd-seed") {
+		t.Fatalf("error lost the task name: %v", err)
+	}
+}
+
+func TestRunUnknownTask(t *testing.T) {
+	if _, err := Run(context.Background(), Spec{Task: "no-such-task"}); err == nil {
+		t.Fatal("expected unknown-task error")
+	}
+}
+
+func TestForEachCancellationMidCampaign(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEach(ctx, 1000, 2, func(ctx context.Context, i int) error {
+			started.Add(1)
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return nil
+		})
+	}()
+	// Let a couple of tasks start, then cancel the campaign.
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled campaign returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ForEach did not return after cancellation")
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop the feed: %d tasks started", n)
+	}
+}
+
+func TestForEachFailFastSkipsPendingWork(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 10000, 2, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "task 3") {
+		t.Fatalf("error does not name the failing index: %v", err)
+	}
+	if n := ran.Load(); n >= 10000 {
+		t.Fatalf("fail-fast did not cancel pending work: %d tasks ran", n)
+	}
+}
+
+func TestForEachCompletesAllWithoutError(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForEach(context.Background(), 257, 8, func(_ context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 257 {
+		t.Fatalf("ran %d of 257 tasks", ran.Load())
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	Register(Task{Name: "test-walk", Run: func(context.Context, uint64) (Metrics, error) { return nil, nil }})
+}

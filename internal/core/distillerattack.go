@@ -178,6 +178,9 @@ func decideMaskedPairBit(d *device.DistillerPairDevice, cfg DistillerConfig, ori
 		return false, err
 	}
 	best, _ := cfg.Dist.Best([]Arm{arm0, arm1})
+	if best < 0 {
+		return false, ErrNoArms
+	}
 	return best == 1, nil
 }
 
@@ -293,6 +296,9 @@ func AttackDistillerChain(d *device.DistillerPairDevice, cfg DistillerConfig) (C
 			})
 		}
 		best, _ := cfg.Dist.Best(arms)
+		if best < 0 {
+			return ChainAttackResult{}, ErrNoArms
+		}
 		for pos, idx := range unknownIdx {
 			known[idx] = best>>uint(pos)&1 == 1
 		}

@@ -19,10 +19,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/stats"
 )
+
+// ErrNoArms reports a hypothesis test over an empty arm set — a malformed
+// attack configuration rather than a statistical outcome. Attacks return
+// it (wrapped) instead of crashing a long-running campaign.
+var ErrNoArms = errors.New("core: no hypothesis arms to distinguish")
 
 // Arm is one hypothesis under test: a closure that installs the
 // hypothesis's helper manipulation (done once by the caller), then
@@ -114,10 +120,11 @@ func (d Distinguisher) normalized() Distinguisher {
 }
 
 // Best returns the index of the arm with the lowest failure rate and the
-// total number of queries spent. It panics on an empty arm set.
+// total number of queries spent. An empty arm set returns (-1, 0);
+// callers treat that as ErrNoArms.
 func (d Distinguisher) Best(arms []Arm) (best, queries int) {
 	if len(arms) == 0 {
-		panic("core: Best with no arms")
+		return -1, 0
 	}
 	d = d.normalized()
 	if len(arms) == 1 {

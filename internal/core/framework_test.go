@@ -77,13 +77,11 @@ func TestBestSingleArm(t *testing.T) {
 	}
 }
 
-func TestBestPanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	DefaultDistinguisher().Best(nil)
+func TestBestEmptyArmSet(t *testing.T) {
+	best, q := DefaultDistinguisher().Best(nil)
+	if best != -1 || q != 0 {
+		t.Fatalf("empty arm set: best=%d q=%d, want (-1, 0)", best, q)
+	}
 }
 
 func TestNormalizedClamps(t *testing.T) {

@@ -233,6 +233,9 @@ func decidePairOrder(d *device.GroupBasedDevice, original groupbased.Helper, cfg
 		return false, err
 	}
 	best, _ := cfg.Dist.Best([]Arm{arm0, arm1})
+	if best < 0 {
+		return false, ErrNoArms
+	}
 	return best == 1, nil
 }
 

@@ -151,6 +151,9 @@ func AttackSeqPair(d *device.SeqPairDevice, cfg SeqPairConfig) (SeqPairResult, e
 		// arm behaving nominally. If the swap arm is nominal, bits are
 		// equal.
 		best, _ := dist.Best([]Arm{armSwap, armRef})
+		if best < 0 {
+			return SeqPairResult{}, fmt.Errorf("core: pair %d: %w", j, ErrNoArms)
+		}
 		relations[j] = best != 0 // swap arm elevated => bits differ
 	}
 

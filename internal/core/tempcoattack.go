@@ -250,6 +250,9 @@ func AttackTempCo(d *device.TempCoDevice, cfg TempCoConfig) (TempCoResult, error
 			return !d.App()
 		}
 		best, _ := dist.Best([]Arm{armSub, armRef})
+		if best < 0 {
+			return TempCoResult{}, fmt.Errorf("core: pair %d: %w", x, ErrNoArms)
+		}
 		xorWithRef[x] = best != 0
 	}
 
@@ -325,6 +328,10 @@ func testThroughSecondRequester(
 			return !d.App()
 		}
 		best, _ := dist.Best([]Arm{armSub, armRef})
+		if best < 0 {
+			// Degenerate arm set: leave the requester's relation unknown.
+			return false, false
+		}
 		// best!=0 => r_requester != r_ref2; translate into the
 		// refHelper frame via rel2 = r_ref2 XOR r_refHelper.
 		return (best != 0) != rel2, true

@@ -7,8 +7,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/distiller"
@@ -619,11 +621,22 @@ type StorageLeakage struct {
 }
 
 // AblationStoragePolicy measures the direct helper leakage of the two
-// storage policies over many devices.
+// storage policies over many devices, one device per pool worker.
 func AblationStoragePolicy(seed uint64, devices int) (StorageLeakage, error) {
+	return AblationStoragePolicyWorkers(context.Background(), seed, devices, 0)
+}
+
+// AblationStoragePolicyWorkers is AblationStoragePolicy with an explicit
+// worker bound and cancellation. Callers already running inside a
+// campaign pool should pass workers = 1 to avoid oversubscribing the
+// host with nested pools.
+func AblationStoragePolicyWorkers(ctx context.Context, seed uint64, devices, workers int) (StorageLeakage, error) {
 	var res StorageLeakage
-	var sortedOnes, sortedTotal, randOnes, randTotal int
-	for i := 0; i < devices; i++ {
+	type deviceCounts struct {
+		sortedOnes, sortedTotal, randOnes, randTotal int
+	}
+	counts := make([]deviceCounts, devices)
+	err := campaign.ForEach(ctx, devices, workers, func(_ context.Context, i int) error {
 		s := seed + uint64(i)*7
 		arr := silicon.NewArray(silicon.DefaultConfig(8, 16), rng.New(s))
 		src := rng.New(s + 1)
@@ -632,10 +645,18 @@ func AblationStoragePolicy(seed uint64, devices int) (StorageLeakage, error) {
 		hr := pairing.EnrollSeqPair(f, 0.8, pairing.RandomizedStorage, src)
 		rs := pairing.Responses(f, hs.Pairs)
 		rr := pairing.Responses(f, hr.Pairs)
-		sortedOnes += rs.Weight()
-		sortedTotal += rs.Len()
-		randOnes += rr.Weight()
-		randTotal += rr.Len()
+		counts[i] = deviceCounts{rs.Weight(), rs.Len(), rr.Weight(), rr.Len()}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	var sortedOnes, sortedTotal, randOnes, randTotal int
+	for _, c := range counts {
+		sortedOnes += c.sortedOnes
+		sortedTotal += c.sortedTotal
+		randOnes += c.randOnes
+		randTotal += c.randTotal
 	}
 	if sortedTotal == 0 || randTotal == 0 {
 		return res, fmt.Errorf("experiments: no pairs enrolled")
@@ -708,6 +729,12 @@ type OffsetSizeRow struct {
 // inside the correction radius and the rates collapse; at t the single
 // extra error becomes fully visible.
 func AblationOffsetSize(seed uint64) ([]OffsetSizeRow, error) {
+	return AblationOffsetSizeWorkers(context.Background(), seed, 0)
+}
+
+// AblationOffsetSizeWorkers is AblationOffsetSize with an explicit
+// worker bound and cancellation (workers = 1 inside an outer pool).
+func AblationOffsetSizeWorkers(ctx context.Context, seed uint64, workers int) ([]OffsetSizeRow, error) {
 	params := device.SeqPairParams{
 		Rows: 8, Cols: 16,
 		ThresholdMHz: 0.8,
@@ -716,11 +743,15 @@ func AblationOffsetSize(seed uint64) ([]OffsetSizeRow, error) {
 		EnrollReps:   20,
 	}
 	tcap := params.Code.T()
-	var out []OffsetSizeRow
-	for inject := 1; inject <= tcap; inject++ {
+	// Each offset level enrolls its own device from the same seed, so the
+	// levels are independent and fan out across the pool; the row order
+	// is fixed by the level index.
+	out := make([]OffsetSizeRow, tcap)
+	err := campaign.ForEach(ctx, tcap, workers, func(_ context.Context, i int) error {
+		inject := i + 1
 		d, err := device.EnrollSeqPair(params, rng.New(seed), rng.New(seed+1))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		truth := d.TrueKey()
 		res, err := core.AttackSeqPair(d, core.SeqPairConfig{
@@ -728,15 +759,19 @@ func AblationOffsetSize(seed uint64) ([]OffsetSizeRow, error) {
 			InjectErrors: inject,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, OffsetSizeRow{
+		out[i] = OffsetSizeRow{
 			InjectErrors: inject,
 			PNominal:     res.Calibration.PNominal,
 			PElevated:    res.Calibration.PElevated,
 			Queries:      res.Queries,
 			Recovered:    res.Key.Equal(truth) || res.Key.Equal(truth.Not()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -755,47 +790,87 @@ type AttackSuccessRates struct {
 	TempCoRel  float64 // fraction of recovered relations that are correct
 }
 
-// MeasureAttackSuccess runs all attacks over `seeds` devices each.
+// seedAttackOutcome is one device population's worth of attack results —
+// the unit of work MeasureAttackSuccess fans out over the campaign pool.
+type seedAttackOutcome struct {
+	seqPair, groupBased, masking, chain bool
+	relFound, relRight                  int
+}
+
+// attackAllOnSeed runs every attack against devices manufactured from
+// one seed. It is a pure function of the seed and therefore safe to
+// evaluate from any worker in any order.
+func attackAllOnSeed(s uint64) (seedAttackOutcome, error) {
+	var o seedAttackOutcome
+	sp, err := RunSeqPairAttack(s, true)
+	if err != nil {
+		return o, fmt.Errorf("seqpair seed %d: %w", s, err)
+	}
+	o.seqPair = sp.Recovered
+	gb, err := RunGroupBasedAttack(s)
+	if err != nil {
+		return o, fmt.Errorf("groupbased seed %d: %w", s, err)
+	}
+	o.groupBased = gb.Recovered
+	mk, err := RunMaskingAttack(s)
+	if err != nil {
+		return o, fmt.Errorf("masking seed %d: %w", s, err)
+	}
+	o.masking = mk.Recovered
+	ch, err := RunChainAttack(s)
+	if err != nil {
+		return o, fmt.Errorf("chain seed %d: %w", s, err)
+	}
+	o.chain = ch.Recovered
+	tc, err := RunTempCoAttack(s)
+	if err != nil {
+		return o, fmt.Errorf("tempco seed %d: %w", s, err)
+	}
+	o.relFound = tc.RelationsFound
+	o.relRight = tc.RelationsRight
+	return o, nil
+}
+
+// MeasureAttackSuccess runs all attacks over `seeds` devices each, using
+// every available core. The rates are aggregated in seed order from
+// per-seed deterministic outcomes, so they are identical to a serial run.
 func MeasureAttackSuccess(base uint64, seeds int) (AttackSuccessRates, error) {
+	return MeasureAttackSuccessWorkers(context.Background(), base, seeds, 0)
+}
+
+// MeasureAttackSuccessWorkers is MeasureAttackSuccess with an explicit
+// worker-pool bound (0 = GOMAXPROCS) and campaign cancellation.
+func MeasureAttackSuccessWorkers(ctx context.Context, base uint64, seeds, workers int) (AttackSuccessRates, error) {
 	var r AttackSuccessRates
 	r.Seeds = seeds
-	var relFound, relRight int
-	for i := 0; i < seeds; i++ {
-		s := base + uint64(i)*101
-		sp, err := RunSeqPairAttack(s, true)
+	outcomes := make([]seedAttackOutcome, seeds)
+	err := campaign.ForEach(ctx, seeds, workers, func(_ context.Context, i int) error {
+		o, err := attackAllOnSeed(base + uint64(i)*101)
 		if err != nil {
-			return r, fmt.Errorf("seqpair seed %d: %w", s, err)
+			return err
 		}
-		if sp.Recovered {
+		outcomes[i] = o
+		return nil
+	})
+	if err != nil {
+		return r, err
+	}
+	var relFound, relRight int
+	for _, o := range outcomes {
+		if o.seqPair {
 			r.SeqPair++
 		}
-		gb, err := RunGroupBasedAttack(s)
-		if err != nil {
-			return r, fmt.Errorf("groupbased seed %d: %w", s, err)
-		}
-		if gb.Recovered {
+		if o.groupBased {
 			r.GroupBased++
 		}
-		mk, err := RunMaskingAttack(s)
-		if err != nil {
-			return r, fmt.Errorf("masking seed %d: %w", s, err)
-		}
-		if mk.Recovered {
+		if o.masking {
 			r.Masking++
 		}
-		ch, err := RunChainAttack(s)
-		if err != nil {
-			return r, fmt.Errorf("chain seed %d: %w", s, err)
-		}
-		if ch.Recovered {
+		if o.chain {
 			r.Chain++
 		}
-		tc, err := RunTempCoAttack(s)
-		if err != nil {
-			return r, fmt.Errorf("tempco seed %d: %w", s, err)
-		}
-		relFound += tc.RelationsFound
-		relRight += tc.RelationsRight
+		relFound += o.relFound
+		relRight += o.relRight
 	}
 	n := float64(seeds)
 	r.SeqPair /= n

@@ -81,6 +81,18 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64())
 }
 
+// StreamSeed derives the seed of logical stream `stream` under a campaign
+// base seed. Unlike Split it carries no hidden state: stream i's seed
+// depends only on (base, i), so a pool of workers can evaluate streams in
+// any order — or any degree of parallelism — and still reproduce the
+// exact per-stream random sequences of a serial run. The derivation is
+// one SplitMix64 step over a golden-ratio spaced state, the same
+// construction New uses for state expansion.
+func StreamSeed(base, stream uint64) uint64 {
+	state := base + (stream+1)*0x9e3779b97f4a7c15
+	return splitMix64(&state)
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {

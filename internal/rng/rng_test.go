@@ -238,3 +238,33 @@ func BenchmarkNorm(b *testing.B) {
 		_ = r.Norm()
 	}
 }
+
+func TestStreamSeedDeterministicAndDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for base := uint64(0); base < 4; base++ {
+		for stream := uint64(0); stream < 256; stream++ {
+			s := StreamSeed(base, stream)
+			if s != StreamSeed(base, stream) {
+				t.Fatal("StreamSeed is not a pure function")
+			}
+			if seen[s] {
+				t.Fatalf("collision at base=%d stream=%d", base, stream)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestStreamSeedIndependentOfOrder(t *testing.T) {
+	// Evaluating streams in reverse must give the same seeds — the
+	// property the campaign pool relies on for worker-count invariance.
+	fwd := make([]uint64, 32)
+	for i := range fwd {
+		fwd[i] = StreamSeed(99, uint64(i))
+	}
+	for i := len(fwd) - 1; i >= 0; i-- {
+		if StreamSeed(99, uint64(i)) != fwd[i] {
+			t.Fatalf("stream %d depends on evaluation order", i)
+		}
+	}
+}

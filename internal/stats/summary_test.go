@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); math.Abs(m-5) > 1e-12 {
+		t.Fatalf("mean = %v", m)
+	}
+	// Sample stddev of the classic example: variance 32/7.
+	want := math.Sqrt(32.0 / 7.0)
+	if s := Stddev(xs); math.Abs(s-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s, want)
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 || Stddev([]float64{3}) != 0 {
+		t.Fatal("degenerate inputs must return 0")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	// Reference value: 8/10 successes at 95% gives roughly (0.49, 0.94).
+	lo, hi := WilsonInterval(8, 10, 0.95)
+	if math.Abs(lo-0.4901) > 5e-3 || math.Abs(hi-0.9433) > 5e-3 {
+		t.Fatalf("wilson(8/10) = (%v, %v)", lo, hi)
+	}
+	// Boundary rates stay inside [0, 1] and are non-degenerate.
+	lo, hi = WilsonInterval(0, 20, 0.95)
+	if lo != 0 || hi <= 0 || hi >= 0.5 {
+		t.Fatalf("wilson(0/20) = (%v, %v)", lo, hi)
+	}
+	lo, hi = WilsonInterval(20, 20, 0.95)
+	if hi != 1 || lo >= 1 || lo <= 0.5 {
+		t.Fatalf("wilson(20/20) = (%v, %v)", lo, hi)
+	}
+	if lo, hi = WilsonInterval(0, 0, 0.95); lo != 0 || hi != 1 {
+		t.Fatalf("wilson(0/0) = (%v, %v)", lo, hi)
+	}
+	// The interval must contain the point estimate.
+	lo, hi = WilsonInterval(3, 7, 0.99)
+	if p := 3.0 / 7.0; p < lo || p > hi {
+		t.Fatalf("wilson(3/7) = (%v, %v) excludes %v", lo, hi, p)
+	}
+}
