@@ -89,7 +89,7 @@ func BenchmarkFig6a_GroupBasedAttack(b *testing.B) {
 	var err error
 	recovered := 0
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.RunGroupBasedAttack(uint64(i)*3 + 9)
+		r, err = experiments.RunGroupBasedAttack(context.Background(), uint64(i)*3+9)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +109,7 @@ func BenchmarkFig6b_MaskingAttack(b *testing.B) {
 	var err error
 	recovered := 0
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.RunMaskingAttack(uint64(i)*3 + 11)
+		r, err = experiments.RunMaskingAttack(context.Background(), uint64(i)*3+11)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +129,7 @@ func BenchmarkFig6c_NeighborChainAttack(b *testing.B) {
 	var err error
 	recovered := 0
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.RunChainAttack(uint64(i)*3 + 13)
+		r, err = experiments.RunChainAttack(context.Background(), uint64(i)*3+13)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +150,7 @@ func BenchmarkAttackSeqPair(b *testing.B) {
 	var err error
 	recovered := 0
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.RunSeqPairAttack(uint64(i)*3+5, true)
+		r, err = experiments.RunSeqPairAttack(context.Background(), uint64(i)*3+5, true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -170,7 +170,7 @@ func BenchmarkAttackTempCo(b *testing.B) {
 	var r experiments.TempCoAttackSummary
 	var err error
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.RunTempCoAttack(uint64(i)*3 + 7)
+		r, err = experiments.RunTempCoAttack(context.Background(), uint64(i)*3+7)
 		if err != nil {
 			b.Fatal(err)
 		}

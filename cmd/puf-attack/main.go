@@ -1,18 +1,31 @@
-// Command puf-attack runs one of the paper's four helper-data
-// manipulation attacks end to end against a freshly enrolled simulated
-// device and reports the recovery outcome and oracle cost.
+// Command puf-attack runs any registered helper-data manipulation
+// attack end to end against a freshly enrolled simulated device and
+// reports the unified attack.Report: recovery outcome, oracle cost,
+// and per-phase breakdown.
+//
+// The attack is resolved through the attack registry, so a newly
+// registered fifth attack shows up here with no CLI changes. With
+// -workers > 1 the oracle is wrapped in the batched backend
+// (attack.BatchTarget), which evaluates the arms of each hypothesis
+// test concurrently on forked oracles — bit-identical results for any
+// worker count.
 //
 // Usage:
 //
-//	puf-attack -construction seqpair|tempco|groupbased|masking|chain [-seed N] [-strategy sequential|fixed]
+//	puf-attack -list
+//	puf-attack -attack seqpair [-seed N] [-strategy sequential|fixed]
+//	puf-attack -attack groupbased -workers 8 -budget 200000 -timeout 2m
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
-	"repro/internal/core"
+	"repro/internal/attack"
+	"repro/internal/bitvec"
 	"repro/internal/device"
 	"repro/internal/ecc"
 	"repro/internal/groupbased"
@@ -22,155 +35,182 @@ import (
 )
 
 func main() {
-	construction := flag.String("construction", "seqpair", "target: seqpair, tempco, groupbased, masking, chain")
+	name := flag.String("attack", "seqpair", "registered attack name (see -list)")
+	construction := flag.String("construction", "", "alias for -attack (deprecated)")
+	list := flag.Bool("list", false, "list registered attacks and exit")
 	seed := flag.Uint64("seed", 1, "device manufacturing seed")
 	strategy := flag.String("strategy", "sequential", "distinguisher: sequential or fixed")
+	workers := flag.Int("workers", 1, "batched oracle workers (> 1 wraps the target in attack.BatchTarget)")
+	budget := flag.Int("budget", 0, "oracle query budget (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "attack wall-time limit (0 = none)")
+	verbose := flag.Bool("v", false, "print per-phase progress lines")
 	flag.Parse()
 
-	dist := core.DefaultDistinguisher()
-	if *strategy == "fixed" {
-		dist = core.Distinguisher{Strategy: core.FixedSample, Queries: 10}
+	if *list {
+		fmt.Printf("%-12s %s\n", "ATTACK", "DESCRIPTION")
+		for _, a := range attack.Attacks() {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Description())
+		}
+		return
+	}
+	if *construction != "" {
+		attackSet := false
+		flag.Visit(func(f *flag.Flag) { attackSet = attackSet || f.Name == "attack" })
+		if attackSet && *construction != *name {
+			fmt.Fprintln(os.Stderr, "puf-attack: -attack and -construction disagree; pass one")
+			os.Exit(2)
+		}
+		*name = *construction
 	}
 
-	var err error
-	switch *construction {
-	case "seqpair":
-		err = attackSeqPair(*seed, dist)
-	case "tempco":
-		err = attackTempCo(*seed, dist)
-	case "groupbased":
-		err = attackGroupBased(*seed, dist)
-	case "masking":
-		err = attackMasking(*seed, dist)
-	case "chain":
-		err = attackChain(*seed, dist)
-	default:
-		err = fmt.Errorf("unknown construction %q", *construction)
+	dist := attack.DefaultDistinguisher()
+	if *strategy == "fixed" {
+		dist = attack.Distinguisher{Strategy: attack.FixedSample, Queries: 10}
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, *name, *seed, attack.Options{
+		Dist:        dist,
+		QueryBudget: *budget,
+	}, *workers, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "puf-attack:", err)
 		os.Exit(1)
 	}
 }
 
-func attackSeqPair(seed uint64, dist core.Distinguisher) error {
-	d, err := device.EnrollSeqPair(device.SeqPairParams{
-		Rows: 8, Cols: 16,
-		ThresholdMHz: 0.8,
-		Policy:       pairing.RandomizedStorage,
-		Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3, Expurgate: true}),
-		EnrollReps:   20,
-	}, rng.New(seed), rng.New(seed+1))
+func run(ctx context.Context, name string, seed uint64, opts attack.Options, workers int, verbose bool) error {
+	target, truth, desc, err := enroll(name, seed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("enrolled LISA device: %d pairs, code %s\n", d.NumPairs(), d.Code())
-	res, err := core.AttackSeqPair(d, core.SeqPairConfig{Dist: dist})
+	fmt.Println(desc)
+
+	if workers > 1 {
+		bt, err := attack.NewBatchTarget(target, workers, seed^0xba7c4)
+		if err != nil {
+			return err
+		}
+		target = bt
+		fmt.Printf("oracle backend: batched, %d workers\n", workers)
+	}
+	if verbose {
+		last := ""
+		opts.Progress = func(p attack.Progress) {
+			if p.Phase != last {
+				fmt.Printf("  phase %s...\n", p.Phase)
+				last = p.Phase
+			}
+		}
+	}
+
+	rep, err := attack.Run(ctx, name, target, opts)
 	if err != nil {
 		return err
 	}
-	truth := d.TrueKey()
-	fmt.Printf("calibration: p(offset)=%.3f p(offset+1)=%.3f over %d queries\n",
-		res.Calibration.PNominal, res.Calibration.PElevated, res.Calibration.Queries)
-	fmt.Printf("recovered key : %s\n", res.Key)
-	fmt.Printf("true key      : %s\n", truth)
-	fmt.Printf("exact=%v ambiguous=%v, total %d oracle queries (%.1f per bit)\n",
-		res.Key.Equal(truth), res.Ambiguous, res.Queries, float64(res.Queries)/float64(truth.Len()))
+	printReport(rep, truth)
 	return nil
 }
 
-func attackTempCo(seed uint64, dist core.Distinguisher) error {
-	d, err := device.EnrollTempCo(tempco.Params{
-		Rows: 8, Cols: 16,
-		ThresholdMHz: 0.6,
-		TminC:        -20, TmaxC: 80,
-		Policy:     tempco.RandomSelection,
-		Code:       ecc.MustBCH(ecc.BCHConfig{M: 6, T: 3}),
-		EnrollReps: 25,
-	}, rng.New(seed), rng.New(seed+1))
-	if err != nil {
-		return err
+// enroll builds the standard device population entry for one attack and
+// returns its oracle, the enrolled key when the attack recovers one
+// (empty for relation-only attacks), and a banner line.
+func enroll(name string, seed uint64) (attack.Target, bitvec.Vector, string, error) {
+	srcMfg, srcRun := rng.New(seed), rng.New(seed+1)
+	switch name {
+	case "seqpair":
+		d, err := device.EnrollSeqPair(device.SeqPairParams{
+			Rows: 8, Cols: 16,
+			ThresholdMHz: 0.8,
+			Policy:       pairing.RandomizedStorage,
+			Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3, Expurgate: true}),
+			EnrollReps:   20,
+		}, srcMfg, srcRun)
+		if err != nil {
+			return nil, bitvec.Vector{}, "", err
+		}
+		desc := fmt.Sprintf("enrolled LISA device: %d pairs, code %s", d.NumPairs(), d.Code())
+		return attack.NewSeqPairTarget(d), d.TrueKey(), desc, nil
+	case "tempco":
+		d, err := device.EnrollTempCo(tempco.Params{
+			Rows: 8, Cols: 16,
+			ThresholdMHz: 0.6,
+			TminC:        -20, TmaxC: 80,
+			Policy:     tempco.RandomSelection,
+			Code:       ecc.MustBCH(ecc.BCHConfig{M: 6, T: 3}),
+			EnrollReps: 25,
+		}, srcMfg, srcRun)
+		if err != nil {
+			return nil, bitvec.Vector{}, "", err
+		}
+		good, bad, coop := tempco.CountClasses(d.ReadHelper())
+		desc := fmt.Sprintf("enrolled temperature-aware device: %d good / %d bad / %d cooperating pairs", good, bad, coop)
+		// Relation-only attack: no single recovered key to score.
+		return attack.NewTempCoTarget(d), bitvec.Vector{}, desc, nil
+	case "groupbased":
+		d, err := device.EnrollGroupBased(groupbased.Params{
+			Rows: 4, Cols: 10,
+			Degree:       2,
+			ThresholdMHz: 0.5,
+			MaxGroupSize: 6,
+			Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
+			EnrollReps:   25,
+		}, srcMfg, srcRun)
+		if err != nil {
+			return nil, bitvec.Vector{}, "", err
+		}
+		desc := fmt.Sprintf("enrolled group-based device (Fig. 6a array): key %d bits", d.TrueKey().Len())
+		return attack.NewGroupBasedTarget(d), d.TrueKey(), desc, nil
+	case "masking", "chain":
+		mode := device.MaskedChain
+		if name == "chain" {
+			mode = device.OverlappingChain
+		}
+		d, err := device.EnrollDistillerPair(device.DistillerPairParams{
+			Rows: 4, Cols: 10,
+			Degree: 2, Mode: mode, K: 5,
+			Code:       ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
+			EnrollReps: 25,
+		}, srcMfg, srcRun)
+		if err != nil {
+			return nil, bitvec.Vector{}, "", err
+		}
+		desc := fmt.Sprintf("enrolled distiller device (%v): key %d bits", mode, d.TrueKey().Len())
+		return attack.NewDistillerTarget(d), d.TrueKey(), desc, nil
 	}
-	h := d.ReadHelper()
-	good, bad, coop := tempco.CountClasses(h)
-	fmt.Printf("enrolled temperature-aware device: %d good / %d bad / %d cooperating pairs\n", good, bad, coop)
-	res, err := core.AttackTempCo(d, core.TempCoConfig{Dist: dist})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("reference pair       : %d\n", res.RefIdx)
-	fmt.Printf("relations recovered  : %d (skipped %d unstable at ambient)\n", len(res.XorWithRef), len(res.Skipped))
-	fmt.Printf("absolute mask bits   : %d\n", len(res.MaskBits))
-	fmt.Printf("oracle queries       : %d\n", res.Queries)
-	return nil
+	return nil, bitvec.Vector{}, "", fmt.Errorf("no standard device for attack %q (registry has %v)", name, attack.Names())
 }
 
-func attackGroupBased(seed uint64, dist core.Distinguisher) error {
-	d, err := device.EnrollGroupBased(groupbased.Params{
-		Rows: 4, Cols: 10,
-		Degree:       2,
-		ThresholdMHz: 0.5,
-		MaxGroupSize: 6,
-		Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
-		EnrollReps:   25,
-	}, rng.New(seed), rng.New(seed+1))
-	if err != nil {
-		return err
+func printReport(rep attack.Report, truth bitvec.Vector) {
+	if rep.Key.Len() > 0 {
+		fmt.Printf("recovered key : %s\n", rep.Key)
 	}
-	truth := d.TrueKey()
-	fmt.Printf("enrolled group-based device (Fig. 6a array): key %d bits\n", truth.Len())
-	res, err := core.AttackGroupBased(d, core.GroupBasedConfig{Dist: dist})
-	if err != nil {
-		return err
+	if truth.Len() > 0 {
+		fmt.Printf("true key      : %s\n", truth)
+		fmt.Printf("exact=%v ambiguous=%v\n", rep.Key.Equal(truth), rep.Ambiguous)
 	}
-	fmt.Printf("groups resolved : %d/%d\n", res.Resolved, len(res.Orders))
-	fmt.Printf("recovered key   : %s\n", res.Key)
-	fmt.Printf("true key        : %s\n", truth)
-	fmt.Printf("exact=%v, %d oracle queries\n", res.Key.Equal(truth), res.Queries)
-	return nil
-}
-
-func attackMasking(seed uint64, dist core.Distinguisher) error {
-	d, err := device.EnrollDistillerPair(device.DistillerPairParams{
-		Rows: 4, Cols: 10,
-		Degree: 2, Mode: device.MaskedChain, K: 5,
-		Code:       ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
-		EnrollReps: 25,
-	}, rng.New(seed), rng.New(seed+1))
-	if err != nil {
-		return err
+	switch det := rep.Details.(type) {
+	case attack.SeqPairDetails:
+		fmt.Printf("calibration   : p(offset)=%.3f p(offset+1)=%.3f over %d queries\n",
+			det.Calibration.PNominal, det.Calibration.PElevated, det.Calibration.Queries)
+	case attack.TempCoDetails:
+		fmt.Printf("reference pair: %d\n", det.RefIdx)
+		fmt.Printf("relations     : %d recovered (skipped %d unstable at ambient)\n", len(det.XorWithRef), len(det.Skipped))
+		fmt.Printf("mask bits     : %d absolute\n", len(det.MaskBits))
+	case attack.GroupBasedDetails:
+		fmt.Printf("groups        : %d/%d resolved\n", det.Resolved, len(det.Orders))
+	case attack.MaskingDetails:
+		fmt.Printf("base bits     : %d recovered\n", len(det.BaseBits))
+	case attack.ChainDetails:
+		fmt.Printf("hypotheses    : max %d simultaneous\n", det.MaxHypotheses)
 	}
-	truth := d.TrueKey()
-	fmt.Printf("enrolled distiller + 1-out-of-5 masking device: key %d bits\n", truth.Len())
-	res, err := core.AttackDistillerMasking(d, core.DistillerConfig{Dist: dist})
-	if err != nil {
-		return err
+	fmt.Printf("oracle queries: %d in %s\n", rep.Queries, rep.Elapsed.Round(time.Millisecond))
+	for _, ph := range rep.Phases {
+		fmt.Printf("  %-12s %6d queries  %s\n", ph.Name, ph.Queries, ph.Elapsed.Round(time.Millisecond))
 	}
-	fmt.Printf("base-pair bits recovered: %d\n", len(res.BaseBits))
-	fmt.Printf("recovered key: %s (true %s), exact=%v, %d queries\n",
-		res.Key, truth, res.Key.Equal(truth), res.Queries)
-	return nil
-}
-
-func attackChain(seed uint64, dist core.Distinguisher) error {
-	d, err := device.EnrollDistillerPair(device.DistillerPairParams{
-		Rows: 4, Cols: 10,
-		Degree: 2, Mode: device.OverlappingChain,
-		Code:       ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
-		EnrollReps: 25,
-	}, rng.New(seed), rng.New(seed+1))
-	if err != nil {
-		return err
-	}
-	truth := d.TrueKey()
-	fmt.Printf("enrolled distiller + overlapping chain device: key %d bits\n", truth.Len())
-	res, err := core.AttackDistillerChain(d, core.DistillerConfig{Dist: dist})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("max simultaneous hypotheses: %d (Fig. 6c: 2^4)\n", res.MaxHypotheses)
-	fmt.Printf("recovered key: %s\n", res.Key)
-	fmt.Printf("true key     : %s\n", truth)
-	fmt.Printf("exact=%v, %d oracle queries\n", res.Key.Equal(truth), res.Queries)
-	return nil
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -117,7 +118,7 @@ func runE4(seed uint64) error {
 }
 
 func runE5(seed uint64) error {
-	r, err := experiments.RunGroupBasedAttack(seed)
+	r, err := experiments.RunGroupBasedAttack(context.Background(), seed)
 	if err != nil {
 		return err
 	}
@@ -128,7 +129,7 @@ func runE5(seed uint64) error {
 }
 
 func runE6(seed uint64) error {
-	r, err := experiments.RunMaskingAttack(seed)
+	r, err := experiments.RunMaskingAttack(context.Background(), seed)
 	if err != nil {
 		return err
 	}
@@ -138,7 +139,7 @@ func runE6(seed uint64) error {
 }
 
 func runE7(seed uint64) error {
-	r, err := experiments.RunChainAttack(seed)
+	r, err := experiments.RunChainAttack(context.Background(), seed)
 	if err != nil {
 		return err
 	}
@@ -149,7 +150,7 @@ func runE7(seed uint64) error {
 
 func runE8(seed uint64) error {
 	for _, exp := range []bool{false, true} {
-		r, err := experiments.RunSeqPairAttack(seed, exp)
+		r, err := experiments.RunSeqPairAttack(context.Background(), seed, exp)
 		if err != nil {
 			return err
 		}
@@ -164,7 +165,7 @@ func runE8(seed uint64) error {
 }
 
 func runE9(seed uint64) error {
-	r, err := experiments.RunTempCoAttack(seed)
+	r, err := experiments.RunTempCoAttack(context.Background(), seed)
 	if err != nil {
 		return err
 	}

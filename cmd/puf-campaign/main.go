@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/campaign"
 	_ "repro/internal/experiments" // registers every experiment task
 )
@@ -46,6 +47,7 @@ func main() {
 			}
 			fmt.Printf("%-20s %-10s %s\n", t.Name, fig, t.Desc)
 		}
+		fmt.Printf("\nattack-backed tasks dispatch through the attack registry: %v\n", attack.Names())
 		return
 	}
 	if *task == "" {

@@ -1,0 +1,165 @@
+package attack
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/device"
+	"repro/internal/helperdata"
+)
+
+// In-process adapters presenting the simulated devices of
+// internal/device as Targets. Each adapter translates between the
+// device's typed helper structs and the sectioned NVM image, inverts
+// App() into the failure convention (Query true = failure), and forks
+// by cloning the device onto an independent noise stream.
+
+// NewSeqPairTarget adapts a deployed LISA device.
+func NewSeqPairTarget(d *device.SeqPairDevice) Target { return &seqPairTarget{d} }
+
+type seqPairTarget struct{ d *device.SeqPairDevice }
+
+func (t *seqPairTarget) Spec() Spec {
+	return Spec{
+		Construction: "seqpair",
+		Code:         t.d.Code(),
+		AmbientC:     t.d.Environment().TempC,
+	}
+}
+
+func (t *seqPairTarget) ReadImage() (*helperdata.Image, error) {
+	h := t.d.ReadHelper()
+	return SeqPairImage(h.Pairs, h.Offset)
+}
+
+func (t *seqPairTarget) WriteImage(im *helperdata.Image) error {
+	pairs, offset, err := SeqPairFromImage(im)
+	if err != nil {
+		return err
+	}
+	return t.d.WriteHelper(device.SeqPairHelperNVM{Pairs: pairs, Offset: offset})
+}
+
+func (t *seqPairTarget) Query() bool  { return !t.d.App() }
+func (t *seqPairTarget) Queries() int { return t.d.Queries() }
+
+func (t *seqPairTarget) Fork(seed uint64) (Target, error) {
+	return NewSeqPairTarget(t.d.Fork(seed)), nil
+}
+
+// NewTempCoTarget adapts a deployed temperature-aware cooperative device.
+func NewTempCoTarget(d *device.TempCoDevice) Target { return &tempCoTarget{d} }
+
+type tempCoTarget struct{ d *device.TempCoDevice }
+
+func (t *tempCoTarget) Spec() Spec {
+	return Spec{
+		Construction: "tempco",
+		Code:         t.d.Params().Code,
+		AmbientC:     t.d.Environment().TempC,
+	}
+}
+
+func (t *tempCoTarget) ReadImage() (*helperdata.Image, error) {
+	return TempCoImage(t.d.ReadHelper())
+}
+
+func (t *tempCoTarget) WriteImage(im *helperdata.Image) error {
+	h, err := TempCoFromImage(im)
+	if err != nil {
+		return err
+	}
+	return t.d.WriteHelper(h)
+}
+
+func (t *tempCoTarget) Query() bool  { return !t.d.App() }
+func (t *tempCoTarget) Queries() int { return t.d.Queries() }
+
+func (t *tempCoTarget) Fork(seed uint64) (Target, error) {
+	return NewTempCoTarget(t.d.Fork(seed)), nil
+}
+
+// NewGroupBasedTarget adapts a deployed group-based device (the
+// reprogrammed-key observable: it also implements KeyBinder).
+func NewGroupBasedTarget(d *device.GroupBasedDevice) Target { return &groupBasedTarget{d} }
+
+type groupBasedTarget struct{ d *device.GroupBasedDevice }
+
+func (t *groupBasedTarget) Spec() Spec {
+	p := t.d.Params()
+	return Spec{
+		Construction: "groupbased",
+		Rows:         p.Rows,
+		Cols:         p.Cols,
+		Code:         p.Code,
+		AmbientC:     t.d.Environment().TempC,
+	}
+}
+
+func (t *groupBasedTarget) ReadImage() (*helperdata.Image, error) {
+	return GroupBasedImage(t.d.ReadHelper())
+}
+
+func (t *groupBasedTarget) WriteImage(im *helperdata.Image) error {
+	h, err := GroupBasedFromImage(im)
+	if err != nil {
+		return err
+	}
+	return t.d.WriteHelper(h)
+}
+
+func (t *groupBasedTarget) Query() bool               { return !t.d.App() }
+func (t *groupBasedTarget) Queries() int              { return t.d.Queries() }
+func (t *groupBasedTarget) BindKey(key bitvec.Vector) { t.d.BindKey(key) }
+
+func (t *groupBasedTarget) Fork(seed uint64) (Target, error) {
+	return NewGroupBasedTarget(t.d.Fork(seed)), nil
+}
+
+// NewDistillerTarget adapts a deployed distiller + pairing device
+// (reprogrammed-key observable; the Spec construction is "masking" or
+// "chain" according to the device's pairing mode).
+func NewDistillerTarget(d *device.DistillerPairDevice) Target { return &distillerTarget{d} }
+
+type distillerTarget struct{ d *device.DistillerPairDevice }
+
+func (t *distillerTarget) Spec() Spec {
+	p := t.d.Params()
+	construction := "masking"
+	if p.Mode == device.OverlappingChain {
+		construction = "chain"
+	}
+	return Spec{
+		Construction: construction,
+		Rows:         p.Rows,
+		Cols:         p.Cols,
+		Code:         p.Code,
+		AmbientC:     t.d.Environment().TempC,
+	}
+}
+
+func (t *distillerTarget) ReadImage() (*helperdata.Image, error) {
+	h := t.d.ReadHelper()
+	if t.d.Params().Mode == device.MaskedChain {
+		return DistillerImage(h.Poly, &h.Masking, h.Offset)
+	}
+	return DistillerImage(h.Poly, nil, h.Offset)
+}
+
+func (t *distillerTarget) WriteImage(im *helperdata.Image) error {
+	poly, mask, offset, err := DistillerFromImage(im)
+	if err != nil {
+		return err
+	}
+	nvm := device.DistillerPairHelperNVM{Poly: poly, Offset: offset}
+	if mask != nil {
+		nvm.Masking = *mask
+	}
+	return t.d.WriteHelper(nvm)
+}
+
+func (t *distillerTarget) Query() bool               { return !t.d.App() }
+func (t *distillerTarget) Queries() int              { return t.d.Queries() }
+func (t *distillerTarget) BindKey(key bitvec.Vector) { t.d.BindKey(key) }
+
+func (t *distillerTarget) Fork(seed uint64) (Target, error) {
+	return NewDistillerTarget(t.d.Fork(seed)), nil
+}

@@ -1,0 +1,267 @@
+package attack
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// This file is the statistical heart the four attacks share (the paper's
+// Fig. 5): hypotheses about response bits map to helper manipulations; a
+// common offset of deterministic errors pushes the ECC to the edge of
+// its correction radius; the hypothesis whose failure rate stays nominal
+// wins. It moved here from internal/core so that attacks and
+// distinguisher live behind the same oracle-agnostic surface; internal/
+// core re-exports every name as a deprecated alias.
+
+// ErrNoArms reports a hypothesis test over an empty arm set — a malformed
+// attack configuration rather than a statistical outcome. Attacks return
+// it (wrapped) instead of crashing a long-running campaign.
+var ErrNoArms = errors.New("attack: no hypothesis arms to distinguish")
+
+// Arm is one hypothesis under test: a closure that installs the
+// hypothesis's helper manipulation, then performs one oracle query and
+// reports FAILURE (true = the key-dependent application misbehaved).
+type Arm func() bool
+
+// Hypothesis is one arm of a test expressed target-generically: Install
+// writes the arm's manipulated helper (and, for reprogrammed-key
+// targets, binds the predicted key) into whatever oracle it is given.
+// One Query on that oracle then yields one observation. Expressing arms
+// this way — rather than as closures over a fixed oracle — is what lets
+// BatchTarget evaluate them concurrently against independent forks.
+type Hypothesis func(t Target) error
+
+// Strategy selects how the distinguisher spends queries.
+type Strategy int
+
+const (
+	// FixedSample queries every arm the same number of times and takes
+	// the arm with the fewest failures.
+	FixedSample Strategy = iota
+	// Sequential runs Wald's SPRT per arm against calibrated nominal
+	// and elevated failure rates, returning the first arm accepted at
+	// the nominal rate. Falls back to FixedSample when no arm is
+	// accepted. Substantially cheaper at equal error probability — one
+	// of the repository's ablations.
+	Sequential
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case FixedSample:
+		return "fixed-sample"
+	case Sequential:
+		return "sequential"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Distinguisher decides which of several helper-data hypotheses is
+// correct by comparing observable failure rates.
+type Distinguisher struct {
+	Strategy Strategy
+	// Queries is the per-arm budget of the fixed-sample strategy (and
+	// of the sequential fallback).
+	Queries int
+	// P0 and P1 are the calibrated failure rates under the correct
+	// hypothesis (nominal + injected offset) and under a wrong
+	// hypothesis (one extra error beyond the offset). Sequential only.
+	P0, P1 float64
+	// Alpha and Beta are the designed SPRT error probabilities.
+	Alpha, Beta float64
+	// MaxQueries caps a single SPRT run; 0 means 64 * Queries.
+	MaxQueries int
+}
+
+// DefaultDistinguisher returns a sequential distinguisher with
+// conservative defaults suitable for well-separated rates.
+func DefaultDistinguisher() Distinguisher {
+	return Distinguisher{
+		Strategy: Sequential,
+		Queries:  12,
+		P0:       0.05, P1: 0.95,
+		Alpha: 0.01, Beta: 0.01,
+	}
+}
+
+// normalized returns the distinguisher with defaults filled in and rates
+// clamped away from the degenerate endpoints.
+func (d Distinguisher) normalized() Distinguisher {
+	if d.Queries <= 0 {
+		d.Queries = 12
+	}
+	if d.Alpha <= 0 || d.Alpha >= 1 {
+		d.Alpha = 0.01
+	}
+	if d.Beta <= 0 || d.Beta >= 1 {
+		d.Beta = 0.01
+	}
+	const eps = 0.02
+	if d.P0 < eps {
+		d.P0 = eps
+	}
+	if d.P1 > 1-eps {
+		d.P1 = 1 - eps
+	}
+	if d.P0 >= d.P1 {
+		// Degenerate calibration; fall back to something sane.
+		d.P0, d.P1 = 0.05, 0.95
+	}
+	if d.MaxQueries <= 0 {
+		d.MaxQueries = 64 * d.Queries
+	}
+	return d
+}
+
+// Best returns the index of the arm with the lowest failure rate and the
+// total number of queries spent. An empty arm set returns (-1, 0);
+// callers treat that as ErrNoArms.
+func (d Distinguisher) Best(arms []Arm) (best, queries int) {
+	best, queries, _ = d.BestContext(context.Background(), arms, nil)
+	return best, queries
+}
+
+// BestContext is Best with cooperative cancellation and query metering:
+// ctx is checked and the budget is charged before every oracle query.
+// On cancellation or exhaustion it returns (-1, queries so far, err).
+func (d Distinguisher) BestContext(ctx context.Context, arms []Arm, b *Budget) (best, queries int, err error) {
+	if len(arms) == 0 {
+		return -1, 0, nil
+	}
+	d = d.normalized()
+	if len(arms) == 1 {
+		return 0, 0, nil
+	}
+	if d.Strategy == Sequential {
+		total := 0
+		for i, arm := range arms {
+			r := d.sprtArm(ctx, arm, b)
+			total += r.n
+			if r.err != nil {
+				return -1, total, r.err
+			}
+			if r.accepted {
+				return i, total, nil
+			}
+		}
+		// No arm accepted at the nominal rate: fall back.
+		best, extra, err := d.fixedBest(ctx, arms, b)
+		return best, total + extra, err
+	}
+	return d.fixedBest(ctx, arms, b)
+}
+
+// fixedBest is the serial fixed-sample pass; the per-arm loop is the
+// same fixedArm the batched backend runs on forks, so serial and
+// batched paths cannot drift apart semantically.
+func (d Distinguisher) fixedBest(ctx context.Context, arms []Arm, b *Budget) (int, int, error) {
+	best, bestFails := 0, int(^uint(0)>>1)
+	total := 0
+	for i, arm := range arms {
+		r := d.fixedArm(ctx, arm, b)
+		total += r.n
+		if r.err != nil {
+			return -1, total, r.err
+		}
+		if r.fails < bestFails {
+			best, bestFails = i, r.fails
+		}
+	}
+	return best, total, nil
+}
+
+// BestHypotheses evaluates target-generic arms. Against a BatchTarget it
+// pipelines the arms concurrently over forked oracles (bit-identical at
+// any worker count); against any other target it runs the exact serial
+// transcript of BestContext, installing each hypothesis before every
+// query, so in-process results match the legacy closure-based path.
+func (d Distinguisher) BestHypotheses(ctx context.Context, t Target, hyps []Hypothesis, b *Budget) (best, queries int, err error) {
+	if bt, ok := t.(*BatchTarget); ok && len(hyps) > 1 {
+		return d.bestBatched(ctx, bt, hyps, b)
+	}
+	arms := make([]Arm, len(hyps))
+	for i, h := range hyps {
+		arms[i] = bindArm(t, h)
+	}
+	return d.BestContext(ctx, arms, b)
+}
+
+// bindArm fixes a hypothesis to a concrete oracle. An install failure
+// counts as an observed failure, matching the legacy attacks' behavior
+// (a helper the device rejects can never look nominal).
+func bindArm(t Target, h Hypothesis) Arm {
+	return func() bool {
+		if err := h(t); err != nil {
+			return true
+		}
+		return t.Query()
+	}
+}
+
+// queryGate enforces cancellation and budget before one oracle query.
+func queryGate(ctx context.Context, b *Budget) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.Spend(1)
+}
+
+// EstimateFailureRate queries an arm n times and returns the empirical
+// failure rate.
+func EstimateFailureRate(arm Arm, n int) float64 {
+	p, _ := estimateRate(context.Background(), arm, n, nil)
+	return p
+}
+
+// estimateRate is EstimateFailureRate with cancellation and metering.
+func estimateRate(ctx context.Context, arm Arm, n int, b *Budget) (float64, error) {
+	if n <= 0 {
+		return 0, nil
+	}
+	fails := 0
+	for i := 0; i < n; i++ {
+		if err := queryGate(ctx, b); err != nil {
+			return 0, err
+		}
+		if arm() {
+			fails++
+		}
+	}
+	return float64(fails) / float64(n), nil
+}
+
+// Calibration holds the failure rates measured for reference injection
+// levels; attacks use it to parameterize the sequential distinguisher.
+type Calibration struct {
+	// PNominal is the failure rate with the common offset only (the
+	// correct-hypothesis rate, Fig. 5's H-correct PDF tail).
+	PNominal float64
+	// PElevated is the failure rate with one extra injected error (a
+	// wrong hypothesis's rate).
+	PElevated float64
+	// Queries spent measuring.
+	Queries int
+}
+
+// Calibrate measures the two reference rates. nominal and elevated are
+// arms with the attack's common offset and offset+1 deterministic errors
+// respectively, built with value-independent manipulations.
+func Calibrate(nominal, elevated Arm, queriesEach int) Calibration {
+	return Calibration{
+		PNominal:  EstimateFailureRate(nominal, queriesEach),
+		PElevated: EstimateFailureRate(elevated, queriesEach),
+		Queries:   2 * queriesEach,
+	}
+}
+
+// Apply transfers calibrated rates onto a distinguisher.
+func (c Calibration) Apply(d Distinguisher) Distinguisher {
+	d.P0 = c.PNominal
+	d.P1 = c.PElevated
+	return d.normalized()
+}
+
+// Separation returns the rate gap; attacks abort when it collapses.
+func (c Calibration) Separation() float64 { return c.PElevated - c.PNominal }

@@ -1,0 +1,171 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/distiller"
+	"repro/internal/groupbased"
+	"repro/internal/helperdata"
+	"repro/internal/pairing"
+	"repro/internal/tempco"
+)
+
+// This file pins each construction's helper NVM image layout: which
+// helperdata sections it uses and how each blob is encoded (via the
+// construction packages' own codecs). Attacks and device adapters share
+// these functions, so the bytes an attack writes are exactly the bytes
+// an adapter parses — the paper's §VII-C demand for a precise storage
+// format applies to the attacker's tooling too.
+
+// section reads one named section or fails loudly.
+func section(im *helperdata.Image, name string) ([]byte, error) {
+	data, ok := im.Section(name)
+	if !ok {
+		return nil, fmt.Errorf("attack: image lacks section %q (have %v)", name, im.Names())
+	}
+	return data, nil
+}
+
+// offsetFromImage decodes the ECC code-offset section.
+func offsetFromImage(im *helperdata.Image) (bitvec.Vector, error) {
+	data, err := section(im, helperdata.SectionOffset)
+	if err != nil {
+		return bitvec.Vector{}, err
+	}
+	return bitvec.UnmarshalVector(data)
+}
+
+func setOffset(im *helperdata.Image, offset bitvec.Vector) error {
+	data, err := offset.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	im.Set(helperdata.SectionOffset, data)
+	return nil
+}
+
+// --- sequential pairing (LISA) ---
+
+// SeqPairImage composes the LISA helper NVM image: the stored pair list
+// and the code-offset redundancy.
+func SeqPairImage(pairs pairing.SeqPairHelper, offset bitvec.Vector) (*helperdata.Image, error) {
+	im := helperdata.NewImage()
+	im.Set(helperdata.SectionSeqPairs, pairs.Marshal())
+	if err := setOffset(im, offset); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// SeqPairFromImage decomposes a LISA helper NVM image.
+func SeqPairFromImage(im *helperdata.Image) (pairing.SeqPairHelper, bitvec.Vector, error) {
+	data, err := section(im, helperdata.SectionSeqPairs)
+	if err != nil {
+		return pairing.SeqPairHelper{}, bitvec.Vector{}, err
+	}
+	pairs, err := pairing.UnmarshalSeqPair(data)
+	if err != nil {
+		return pairing.SeqPairHelper{}, bitvec.Vector{}, err
+	}
+	offset, err := offsetFromImage(im)
+	if err != nil {
+		return pairing.SeqPairHelper{}, bitvec.Vector{}, err
+	}
+	return pairs, offset, nil
+}
+
+// --- temperature-aware cooperative ---
+
+// TempCoImage composes the temperature-aware helper NVM image. The
+// tempco codec serializes pair records and offset as one blob.
+func TempCoImage(h tempco.Helper) (*helperdata.Image, error) {
+	im := helperdata.NewImage()
+	im.Set(helperdata.SectionTempCo, h.Marshal())
+	return im, nil
+}
+
+// TempCoFromImage decomposes a temperature-aware helper NVM image.
+func TempCoFromImage(im *helperdata.Image) (tempco.Helper, error) {
+	data, err := section(im, helperdata.SectionTempCo)
+	if err != nil {
+		return tempco.Helper{}, err
+	}
+	return tempco.UnmarshalHelper(data)
+}
+
+// --- group-based ---
+
+// GroupBasedImage composes the group-based helper NVM image: distiller
+// polynomial, group assignment, and code-offset redundancy.
+func GroupBasedImage(h groupbased.Helper) (*helperdata.Image, error) {
+	im := helperdata.NewImage()
+	im.Set(helperdata.SectionPolynomial, h.Poly.Marshal())
+	im.Set(helperdata.SectionGrouping, h.Grouping.Marshal())
+	if err := setOffset(im, h.Offset); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// GroupBasedFromImage decomposes a group-based helper NVM image.
+func GroupBasedFromImage(im *helperdata.Image) (groupbased.Helper, error) {
+	var h groupbased.Helper
+	data, err := section(im, helperdata.SectionPolynomial)
+	if err != nil {
+		return h, err
+	}
+	if h.Poly, err = distiller.Unmarshal(data); err != nil {
+		return h, err
+	}
+	if data, err = section(im, helperdata.SectionGrouping); err != nil {
+		return h, err
+	}
+	if h.Grouping, err = groupbased.UnmarshalGrouping(data); err != nil {
+		return h, err
+	}
+	h.Offset, err = offsetFromImage(im)
+	return h, err
+}
+
+// --- distiller + pairing (masking / overlapping chain) ---
+
+// DistillerImage composes the distiller + pairing helper NVM image.
+// mask is nil in overlapping-chain mode (no masking section).
+func DistillerImage(poly distiller.Poly2D, mask *pairing.MaskingHelper, offset bitvec.Vector) (*helperdata.Image, error) {
+	im := helperdata.NewImage()
+	im.Set(helperdata.SectionPolynomial, poly.Marshal())
+	if mask != nil {
+		im.Set(helperdata.SectionMasking, mask.Marshal())
+	}
+	if err := setOffset(im, offset); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// DistillerFromImage decomposes a distiller + pairing helper NVM image;
+// the masking helper is nil when the image carries no masking section.
+func DistillerFromImage(im *helperdata.Image) (distiller.Poly2D, *pairing.MaskingHelper, bitvec.Vector, error) {
+	data, err := section(im, helperdata.SectionPolynomial)
+	if err != nil {
+		return distiller.Poly2D{}, nil, bitvec.Vector{}, err
+	}
+	poly, err := distiller.Unmarshal(data)
+	if err != nil {
+		return distiller.Poly2D{}, nil, bitvec.Vector{}, err
+	}
+	var mask *pairing.MaskingHelper
+	if raw, ok := im.Section(helperdata.SectionMasking); ok {
+		m, err := pairing.UnmarshalMasking(raw)
+		if err != nil {
+			return distiller.Poly2D{}, nil, bitvec.Vector{}, err
+		}
+		mask = &m
+	}
+	offset, err := offsetFromImage(im)
+	if err != nil {
+		return distiller.Poly2D{}, nil, bitvec.Vector{}, err
+	}
+	return poly, mask, offset, nil
+}

@@ -1,0 +1,217 @@
+package attack
+
+import (
+	"context"
+	"fmt"
+	"slices"
+
+	"repro/internal/bitvec"
+	"repro/internal/ecc"
+	"repro/internal/helperdata"
+	"repro/internal/pairing"
+)
+
+func init() { Register(seqPairAttack{}) }
+
+// SeqPairDetails is the seqpair attack's Report payload.
+type SeqPairDetails struct {
+	// Relations[j] reports r_j != r_0 for pair j (index 0 is the
+	// reference and always false).
+	Relations []bool
+	// Calibration echoes the measured reference rates.
+	Calibration Calibration
+}
+
+// seqPairAttack is the paper's §VI-A key recovery against a deployed
+// sequential-pairing (LISA) device.
+//
+// Hypotheses H0: r_0 = r_j, H1: r_0 != r_j are distinguished by swapping
+// the POSITIONS of pairs 0 and j in the helper list, which injects two
+// bit errors exactly when the bits differ. The common offset uses
+// within-pair order swaps — each inverts one response bit
+// deterministically and value-independently ("one can select these pairs
+// which will introduce a pair of erroneous bits for sure" generalizes to
+// this cheaper injector once the storage format compares stored order).
+// The final complement decision compares the consistency of the two
+// candidate keys with crafted sets of ECC helper data.
+type seqPairAttack struct{}
+
+func (seqPairAttack) Name() string { return "seqpair" }
+func (seqPairAttack) Description() string {
+	return "§VI-A sequential-pairing (LISA) full key recovery"
+}
+
+func (a seqPairAttack) Run(ctx context.Context, t Target, opts Options) (Report, error) {
+	spec := t.Spec()
+	originalImage, err := t.ReadImage()
+	if err != nil {
+		return Report{}, err
+	}
+	original, origOffset, err := SeqPairFromImage(originalImage)
+	if err != nil {
+		return Report{}, err
+	}
+	defer func() { _ = t.WriteImage(originalImage) }() // leave the device as found
+
+	m := len(original.Pairs)
+	code := spec.Code
+	radius := code.T()
+	if opts.InjectErrors <= 0 || opts.InjectErrors > radius {
+		opts.InjectErrors = radius
+	}
+	if opts.CalibrationQueries <= 0 {
+		opts.CalibrationQueries = 24
+	}
+	blockLen := code.N()
+	// Every test focuses on ECC block 0: the reference pair 0 lives
+	// there, and injections must share its block to add up.
+	inBlock0 := min(blockLen, m)
+	if inBlock0 < opts.InjectErrors+2 {
+		return Report{}, fmt.Errorf("attack: block 0 holds %d pairs, need %d for injection",
+			inBlock0, opts.InjectErrors+2)
+	}
+
+	budget := NewBudget(opts.QueryBudget)
+	startQueries := t.Queries()
+	tr := newTracer(a.Name(), t, opts)
+
+	// imageWith derives a helper image from the original by swapping the
+	// within-pair order at positions `invert` and swapping the list
+	// positions of pairs a and b (a == b means no position swap).
+	imageWith := func(invert []int, a, b int) (*helperdata.Image, error) {
+		h := pairing.SeqPairHelper{Pairs: append([]pairing.Pair(nil), original.Pairs...)}
+		for _, idx := range invert {
+			h.Pairs[idx] = h.Pairs[idx].Swapped()
+		}
+		if a != b {
+			h.Pairs[a], h.Pairs[b] = h.Pairs[b], h.Pairs[a]
+		}
+		return SeqPairImage(h, origOffset)
+	}
+	install := func(invert []int, a, b int) Hypothesis {
+		return func(t Target) error {
+			im, err := imageWith(invert, a, b)
+			if err != nil {
+				return err
+			}
+			return t.WriteImage(im)
+		}
+	}
+
+	// injectionSet returns opts.InjectErrors positions inside block 0
+	// avoiding the pairs under test.
+	injectionSet := func(avoid ...int) []int {
+		skip := make(map[int]bool, len(avoid))
+		for _, a := range avoid {
+			skip[a] = true
+		}
+		var out []int
+		for p := 0; p < inBlock0 && len(out) < opts.InjectErrors; p++ {
+			if !skip[p] {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+
+	// Calibration: rates at offset and offset+1 errors, all via
+	// value-independent within-pair swaps.
+	tr.phase("calibrate")
+	calNom := injectionSet()
+	calElev := injectionSet()
+	for p := 0; p < inBlock0; p++ {
+		if !slices.Contains(calElev, p) {
+			calElev = append(calElev, p)
+			break
+		}
+	}
+	queryArm := Arm(t.Query)
+	if err := install(calNom, 0, 0)(t); err != nil {
+		return Report{}, err
+	}
+	pNom, err := estimateRate(ctx, queryArm, opts.CalibrationQueries, budget)
+	if err != nil {
+		return Report{}, err
+	}
+	if err := install(calElev, 0, 0)(t); err != nil {
+		return Report{}, err
+	}
+	pElev, err := estimateRate(ctx, queryArm, opts.CalibrationQueries, budget)
+	if err != nil {
+		return Report{}, err
+	}
+	cal := Calibration{PNominal: pNom, PElevated: pElev, Queries: 2 * opts.CalibrationQueries}
+	dist := cal.Apply(opts.Dist)
+
+	// Relation recovery: for each j, arm A = injections + position swap
+	// of pairs 0 and j, arm B = injections only (H0-like reference).
+	tr.phase("relations")
+	relations := make([]bool, m)
+	for j := 1; j < m; j++ {
+		inj := injectionSet(0, j)
+		// Arms ordered so index 0 = "bits equal" (swap is a no-op on
+		// the key, failure stays nominal) — for the swap arm. The
+		// reference arm identifies the nominal level; Best picks the
+		// arm behaving nominally. If the swap arm is nominal, bits are
+		// equal.
+		best, _, err := dist.BestHypotheses(ctx, t, []Hypothesis{
+			install(inj, 0, j), // swap arm
+			install(inj, 0, 0), // reference arm
+		}, budget)
+		if err != nil {
+			return Report{}, fmt.Errorf("attack: pair %d: %w", j, err)
+		}
+		if best < 0 {
+			return Report{}, fmt.Errorf("attack: pair %d: %w", j, ErrNoArms)
+		}
+		relations[j] = best != 0 // swap arm elevated => bits differ
+		tr.step("relations", j, m-1)
+	}
+
+	// Assemble the two key candidates.
+	tr.phase("complement")
+	cand0 := bitvec.New(m)
+	for j := 1; j < m; j++ {
+		cand0.Set(j, relations[j]) // assumes r_0 = 0
+	}
+	cand1 := cand0.Not()
+
+	// Complement decision. Offline first: check code-offset consistency
+	// of both candidates against the original ECC helper.
+	key, ambiguous := resolveComplement(code, origOffset, cand0, cand1)
+
+	rep := tr.report(startQueries)
+	rep.Key = key
+	rep.Ambiguous = ambiguous
+	rep.Details = SeqPairDetails{Relations: relations, Calibration: cal}
+	return rep, nil
+}
+
+// resolveComplement implements the paper's final decision: "the
+// performance of two corresponding sets of ECC helper data can be
+// compared". The offline consistency check against the original offset
+// decides whenever the deployed code excludes the relevant all-ones
+// pattern; otherwise the two candidates are information-theoretically
+// indistinguishable through this oracle and the result stays ambiguous.
+func resolveComplement(code ecc.Code, offset bitvec.Vector, cand0, cand1 bitvec.Vector) (bitvec.Vector, bool) {
+	blocks := offset.Len() / code.N()
+	block := ecc.NewBlock(code, blocks)
+	pad := func(v bitvec.Vector) bitvec.Vector {
+		return v.Concat(bitvec.New(offset.Len() - v.Len()))
+	}
+	off := ecc.Offset{W: offset}
+	ok0 := ecc.ConsistentWith(block, off, pad(cand0))
+	ok1 := ecc.ConsistentWith(block, off, pad(cand1))
+	switch {
+	case ok0 && !ok1:
+		return cand0, false
+	case ok1 && !ok0:
+		return cand1, false
+	default:
+		// Both consistent (all-ones pattern is a codeword) or neither
+		// (some relation decided wrongly): query-based comparison of
+		// crafted helper sets cannot separate the former case either;
+		// return the r_0=0 candidate and flag it.
+		return cand0, true
+	}
+}

@@ -7,6 +7,7 @@
 package bitvec
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 )
@@ -302,6 +303,27 @@ func (v Vector) String() string {
 		}
 	}
 	return b.String()
+}
+
+// MarshalBinary serializes the vector as a little-endian uint32 bit
+// length followed by the Bytes packing, so the exact length survives a
+// round trip through byte-oriented storage (helper NVM sections).
+func (v Vector) MarshalBinary() ([]byte, error) {
+	out := binary.LittleEndian.AppendUint32(make([]byte, 0, 4+(v.n+7)/8), uint32(v.n))
+	return append(out, v.Bytes()...), nil
+}
+
+// UnmarshalVector is the inverse of MarshalBinary. Trailing bytes beyond
+// the declared length are rejected: helper images must be unambiguous.
+func UnmarshalVector(data []byte) (Vector, error) {
+	if len(data) < 4 {
+		return Vector{}, fmt.Errorf("bitvec: %d-byte header truncated", len(data))
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if rest := len(data) - 4; rest != (n+7)/8 {
+		return Vector{}, fmt.Errorf("bitvec: %d data bytes for %d bits", rest, n)
+	}
+	return FromBytes(data[4:], n)
 }
 
 // SupportIndices returns the positions of all set bits in increasing order.

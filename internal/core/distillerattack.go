@@ -1,18 +1,18 @@
 package core
 
 import (
-	"fmt"
-	"math"
+	"context"
 
+	"repro/internal/attack"
 	"repro/internal/bitvec"
 	"repro/internal/device"
-	"repro/internal/distiller"
-	"repro/internal/ecc"
-	"repro/internal/pairing"
 	"repro/internal/rng"
 )
 
 // DistillerConfig tunes the §VI-D attacks.
+//
+// Deprecated: use attack.Options with the "masking"/"chain" registry
+// entries.
 type DistillerConfig struct {
 	Dist Distinguisher
 	// PatternAmpMHz is the main pattern steepness (0 = 500 MHz).
@@ -26,20 +26,14 @@ type DistillerConfig struct {
 	Src *rng.Source
 }
 
-func (cfg DistillerConfig) normalized(t int) DistillerConfig {
-	if cfg.PatternAmpMHz <= 0 {
-		cfg.PatternAmpMHz = 500
+func (cfg DistillerConfig) options() attack.Options {
+	return attack.Options{
+		Dist:          cfg.Dist,
+		PatternAmpMHz: cfg.PatternAmpMHz,
+		TiltMHz:       cfg.TiltMHz,
+		InjectErrors:  cfg.InjectErrors,
+		Src:           cfg.Src,
 	}
-	if cfg.TiltMHz <= 0 {
-		cfg.TiltMHz = 80
-	}
-	if cfg.InjectErrors <= 0 || cfg.InjectErrors > t {
-		cfg.InjectErrors = t
-	}
-	if cfg.Src == nil {
-		cfg.Src = rng.New(0xd15711)
-	}
-	return cfg
 }
 
 // MaskingAttackResult is the Fig. 6b outcome.
@@ -57,131 +51,20 @@ type MaskingAttackResult struct {
 
 // AttackDistillerMasking runs the paper's Fig. 6b attack against an
 // entropy distiller composed with 1-out-of-k masking over a disjoint
-// neighbor chain. Every base pair is isolated in turn: a quadratic
-// valley centered between the pair's two oscillators ties their pattern
-// values while a small orthogonal tilt pins every other selected pair;
-// the attacker rewrites the masking helper to select pattern-determined
-// pairs elsewhere, recomputes the ECC offset for both hypotheses about
-// the target bit, and compares failure rates. Recovering all base-pair
-// bits reveals the original key through the public masking selections.
+// neighbor chain.
+//
+// Deprecated: thin shim over the "masking" attack in internal/attack.
 func AttackDistillerMasking(d *device.DistillerPairDevice, cfg DistillerConfig) (MaskingAttackResult, error) {
-	p := d.Params()
-	if p.Mode != device.MaskedChain {
-		return MaskingAttackResult{}, fmt.Errorf("core: device mode %v, want masked chain", p.Mode)
+	rep, err := attack.Run(context.Background(), "masking", attack.NewDistillerTarget(d), cfg.options())
+	if err != nil {
+		return MaskingAttackResult{}, err
 	}
-	original := d.ReadHelper()
-	defer func() { _ = d.WriteHelper(original) }()
-	cfg = cfg.normalized(p.Code.T())
-	startQueries := d.Queries()
-
-	base := d.BasePairs()
-	groups := len(original.Masking.Selected)
-	usable := groups * original.Masking.K
-	bits := make([]bool, len(base))
-	for target := 0; target < usable; target++ {
-		bit, err := decideMaskedPairBit(d, cfg, original, base, original.Masking.K, target)
-		if err != nil {
-			return MaskingAttackResult{}, fmt.Errorf("core: base pair %d: %w", target, err)
-		}
-		bits[target] = bit
-	}
-
-	// The original key: bits of the originally selected pairs, polished
-	// offline against the original ECC offset (which binds the enrolled
-	// key) to repair noise-marginal decisions.
-	key := bitvec.New(groups)
-	for g, sel := range original.Masking.Selected {
-		key.Set(g, bits[g*original.Masking.K+sel])
-	}
-	key = polishWithOriginalOffset(key, original.Offset, p.Code)
+	det := rep.Details.(attack.MaskingDetails)
 	return MaskingAttackResult{
-		BaseBits: bits,
-		Key:      key,
-		Queries:  d.Queries() - startQueries,
+		BaseBits: det.BaseBits,
+		Key:      rep.Key,
+		Queries:  rep.Queries,
 	}, nil
-}
-
-// decideMaskedPairBit isolates one base pair and recovers its residual
-// sign bit. The pattern superimposes onto the ORIGINAL enrollment
-// polynomial (not whatever a previous arm left in NVM).
-func decideMaskedPairBit(d *device.DistillerPairDevice, cfg DistillerConfig, original device.DistillerPairHelperNVM, base []pairing.Pair, k, target int) (bool, error) {
-	p := d.Params()
-	arr := d.Array()
-	tp := base[target]
-	pattern := valleyForPair(arr, tp, cfg)
-
-	pval := func(ro int) float64 {
-		x, y := arr.Pos(ro)
-		return pattern.Eval(float64(x), float64(y))
-	}
-
-	// Rewrite the masking selections: the target's group selects the
-	// target; every other group selects its pair with the largest
-	// pattern separation (a fully determined bit).
-	groups := len(base) / k
-	targetGroup := target / k
-	selected := make([]int, groups)
-	predicted := make([]bool, groups)
-	for g := 0; g < groups; g++ {
-		if g == targetGroup {
-			selected[g] = target % k
-			continue
-		}
-		bestIdx, bestSep := -1, 0.0
-		for i := 0; i < k; i++ {
-			pr := base[g*k+i]
-			if sep := math.Abs(pval(pr.A) - pval(pr.B)); sep > bestSep {
-				bestIdx, bestSep = i, sep
-			}
-		}
-		if bestIdx < 0 || bestSep < 1 {
-			return false, fmt.Errorf("core: group %d has no pattern-determined pair", g)
-		}
-		selected[g] = bestIdx
-		pr := base[g*k+bestIdx]
-		// Response bit = [residual'(A) > residual'(B)] and residual' =
-		// residual - P, so the pair with the smaller pattern value wins.
-		predicted[g] = pval(pr.A) < pval(pr.B)
-	}
-
-	poly := clonePoly(original.Poly).Add(pattern)
-	mask := pairing.MaskingHelper{K: k, Selected: selected}
-
-	makeArm := func(hypBit bool) (Arm, error) {
-		stream := bitvec.New(groups)
-		for g := 0; g < groups; g++ {
-			if g == targetGroup {
-				stream.Set(g, hypBit)
-			} else {
-				stream.Set(g, predicted[g])
-			}
-		}
-		offset, predKey, err := offsetWithInjection(stream, targetGroup, p.Code, cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		helper := device.DistillerPairHelperNVM{Poly: poly, Masking: mask, Offset: offset}
-		return func() bool {
-			if err := d.WriteHelper(helper); err != nil {
-				return true
-			}
-			d.BindKey(predKey)
-			return !d.App()
-		}, nil
-	}
-	arm0, err := makeArm(false)
-	if err != nil {
-		return false, err
-	}
-	arm1, err := makeArm(true)
-	if err != nil {
-		return false, err
-	}
-	best, _ := cfg.Dist.Best([]Arm{arm0, arm1})
-	if best < 0 {
-		return false, ErrNoArms
-	}
-	return best == 1, nil
 }
 
 // ChainAttackResult is the Fig. 6c outcome.
@@ -197,224 +80,18 @@ type ChainAttackResult struct {
 }
 
 // AttackDistillerChain runs the paper's Fig. 6c attack against an
-// entropy distiller composed with an overlapping neighbor chain. A
-// quadratic valley centered between two adjacent columns leaves exactly
-// the chain pairs straddling that boundary undetermined (one per row —
-// four on the paper's 4x10 array), so the attacker enumerates all 2^b
-// hypotheses about those bits at once; sliding the valley across every
-// column and row boundary recovers the whole key.
+// entropy distiller composed with an overlapping neighbor chain.
+//
+// Deprecated: thin shim over the "chain" attack in internal/attack.
 func AttackDistillerChain(d *device.DistillerPairDevice, cfg DistillerConfig) (ChainAttackResult, error) {
-	p := d.Params()
-	if p.Mode != device.OverlappingChain {
-		return ChainAttackResult{}, fmt.Errorf("core: device mode %v, want overlapping chain", p.Mode)
+	rep, err := attack.Run(context.Background(), "chain", attack.NewDistillerTarget(d), cfg.options())
+	if err != nil {
+		return ChainAttackResult{}, err
 	}
-	original := d.ReadHelper()
-	defer func() { _ = d.WriteHelper(original) }()
-	cfg = cfg.normalized(p.Code.T())
-	startQueries := d.Queries()
-
-	arr := d.Array()
-	base := d.BasePairs()
-	known := make(map[int]bool, len(base)) // chain index -> bit
-	maxHyp := 0
-
-	// Column boundaries, then row boundaries.
-	type boundary struct {
-		vertical bool // vertical line between columns (valley in x)
-		at       float64
-	}
-	var bounds []boundary
-	for c := 0; c+1 < arr.Cols(); c++ {
-		bounds = append(bounds, boundary{vertical: true, at: float64(c) + 0.5})
-	}
-	for r := 0; r+1 < arr.Rows(); r++ {
-		bounds = append(bounds, boundary{vertical: false, at: float64(r) + 0.5})
-	}
-
-	for _, bd := range bounds {
-		var pattern distiller.Poly2D
-		if bd.vertical {
-			pattern = distiller.QuadraticValleyX(bd.at, cfg.PatternAmpMHz).Add(distiller.Plane(0, 0, cfg.TiltMHz))
-		} else {
-			pattern = distiller.QuadraticValleyY(bd.at, cfg.PatternAmpMHz).Add(distiller.Plane(0, cfg.TiltMHz, 0))
-		}
-		pval := func(ro int) float64 {
-			x, y := arr.Pos(ro)
-			return pattern.Eval(float64(x), float64(y))
-		}
-		// Classify chain pairs: determined (predicted) vs undetermined.
-		var unknownIdx []int
-		predicted := make([]bool, len(base))
-		determined := make([]bool, len(base))
-		for i, pr := range base {
-			sep := pval(pr.A) - pval(pr.B)
-			if math.Abs(sep) > 1 {
-				determined[i] = true
-				predicted[i] = sep < 0 // smaller pattern value wins
-			} else if _, ok := known[i]; !ok {
-				unknownIdx = append(unknownIdx, i)
-			}
-		}
-		if len(unknownIdx) == 0 {
-			continue
-		}
-		if len(unknownIdx) > 12 {
-			return ChainAttackResult{}, fmt.Errorf("core: %d undetermined bits under one pattern", len(unknownIdx))
-		}
-		if h := 1 << len(unknownIdx); h > maxHyp {
-			maxHyp = h
-		}
-
-		poly := clonePoly(original.Poly).Add(pattern)
-		arms := make([]Arm, 0, 1<<len(unknownIdx))
-		for hyp := 0; hyp < 1<<len(unknownIdx); hyp++ {
-			stream := bitvec.New(len(base))
-			for i := range base {
-				switch {
-				case determined[i]:
-					stream.Set(i, predicted[i])
-				case contains(unknownIdx, i):
-					pos := indexOf(unknownIdx, i)
-					stream.Set(i, hyp>>uint(pos)&1 == 1)
-				default:
-					// Already recovered on an earlier boundary but tied
-					// under this pattern: use the known bit.
-					stream.Set(i, known[i])
-				}
-			}
-			offset, predKey, err := offsetWithInjection(stream, unknownIdx[0], p.Code, cfg, unknownIdx)
-			if err != nil {
-				return ChainAttackResult{}, err
-			}
-			helper := device.DistillerPairHelperNVM{Poly: poly, Offset: offset}
-			arms = append(arms, func() bool {
-				if err := d.WriteHelper(helper); err != nil {
-					return true
-				}
-				d.BindKey(predKey)
-				return !d.App()
-			})
-		}
-		best, _ := cfg.Dist.Best(arms)
-		if best < 0 {
-			return ChainAttackResult{}, ErrNoArms
-		}
-		for pos, idx := range unknownIdx {
-			known[idx] = best>>uint(pos)&1 == 1
-		}
-	}
-
-	key := bitvec.New(len(base))
-	for i := range base {
-		if b, ok := known[i]; ok {
-			key.Set(i, b)
-		} else {
-			return ChainAttackResult{}, fmt.Errorf("core: chain bit %d never isolated", i)
-		}
-	}
-	key = polishWithOriginalOffset(key, original.Offset, p.Code)
+	det := rep.Details.(attack.ChainDetails)
 	return ChainAttackResult{
-		Key:           key,
-		MaxHypotheses: maxHyp,
-		Queries:       d.Queries() - startQueries,
+		Key:           rep.Key,
+		MaxHypotheses: det.MaxHypotheses,
+		Queries:       rep.Queries,
 	}, nil
-}
-
-// polishWithOriginalOffset exploits the device's ORIGINAL code-offset
-// helper as a free offline oracle: it binds the enrolled response, so
-// decoding the recovered key against it corrects any residual
-// majority-vs-enrollment discrepancies on noise-marginal bits (up to t
-// per block) without a single extra device query.
-func polishWithOriginalOffset(key, offset bitvec.Vector, code ecc.Code) bitvec.Vector {
-	if offset.Len() == 0 || offset.Len()%code.N() != 0 || key.Len() > offset.Len() {
-		return key
-	}
-	padded := key.Concat(bitvec.New(offset.Len() - key.Len()))
-	block := ecc.NewBlock(code, offset.Len()/code.N())
-	if corrected, _, ok := ecc.Reproduce(block, ecc.Offset{W: offset}, padded); ok {
-		return corrected.Slice(0, key.Len())
-	}
-	return key
-}
-
-// offsetWithInjection builds the code-offset helper binding the predicted
-// stream with the common error offset folded into every ECC block that
-// contains a hypothesis bit (or block 0 when hypBits is nil, meaning the
-// single hypothesis bit sits at position targetPos). It also returns the
-// key the attacker predicts the device will regenerate.
-func offsetWithInjection(stream bitvec.Vector, targetPos int, code ecc.Code, cfg DistillerConfig, hypBits []int) (bitvec.Vector, bitvec.Vector, error) {
-	n := code.N()
-	blocks := (stream.Len() + n - 1) / n
-	if blocks == 0 {
-		blocks = 1
-	}
-	padded := stream.Concat(bitvec.New(blocks*n - stream.Len()))
-
-	// Blocks needing the offset.
-	need := map[int]bool{targetPos / n: true}
-	for _, hb := range hypBits {
-		need[hb/n] = true
-	}
-	avoid := map[int]bool{targetPos: true}
-	for _, hb := range hypBits {
-		avoid[hb] = true
-	}
-	injected := padded.Clone()
-	for blk := range need {
-		count := 0
-		for pos := blk * n; pos < (blk+1)*n && pos < stream.Len() && count < cfg.InjectErrors; pos++ {
-			if avoid[pos] {
-				continue
-			}
-			injected.Flip(pos)
-			count++
-		}
-		if count < cfg.InjectErrors {
-			return bitvec.Vector{}, bitvec.Vector{}, fmt.Errorf("core: block %d lacks injectable bits", blk)
-		}
-	}
-	blockCode := ecc.NewBlock(code, blocks)
-	msg := bitvec.New(blockCode.K())
-	for i := 0; i < msg.Len(); i++ {
-		msg.Set(i, cfg.Src.Bool())
-	}
-	offset := ecc.OffsetFor(blockCode, injected, msg)
-	// The device's recovered response is the stream the offset binds —
-	// the INJECTED one — so that is the key the attacker predicts.
-	return offset.W, injected.Slice(0, stream.Len()), nil
-}
-
-// valleyForPair builds the Fig. 6b pattern for one target pair: a
-// quadratic valley centered between the pair's oscillators along their
-// separation axis plus an orthogonal tilt.
-func valleyForPair(arr interface {
-	Pos(int) (int, int)
-}, tp pairing.Pair, cfg DistillerConfig) distiller.Poly2D {
-	xa, ya := arr.Pos(tp.A)
-	xb, yb := arr.Pos(tp.B)
-	if ya == yb {
-		// Horizontal pair: valley in x centered between them, tilt in y.
-		return distiller.QuadraticValleyX((float64(xa)+float64(xb))/2, cfg.PatternAmpMHz).
-			Add(distiller.Plane(0, 0, cfg.TiltMHz))
-	}
-	if xa == xb {
-		return distiller.QuadraticValleyY((float64(ya)+float64(yb))/2, cfg.PatternAmpMHz).
-			Add(distiller.Plane(0, cfg.TiltMHz, 0))
-	}
-	// Diagonal pairs do not occur on neighbor chains; fall back to the
-	// perpendicular plane (levels tie along the perpendicular axis).
-	return distiller.PerpendicularPlane(xa, ya, xb, yb, cfg.PatternAmpMHz)
-}
-
-func indexOf(xs []int, v int) int {
-	for i, x := range xs {
-		if x == v {
-			return i
-		}
-	}
-	return -1
-}
-
-func clonePoly(p distiller.Poly2D) distiller.Poly2D {
-	return distiller.Poly2D{P: p.P, Beta: append([]float64(nil), p.Beta...)}
 }

@@ -1,218 +1,75 @@
-// Package core implements the paper's primary contribution: key-recovery
-// attacks on RO PUF helper-data constructions via manipulation of their
-// public helper data (Delvaux & Verbauwhede, DATE 2014, Section VI).
+// Package core used to own both the statistical attack framework and
+// the four key-recovery attacks (Delvaux & Verbauwhede, DATE 2014,
+// Section VI). Both now live behind the oracle-agnostic surface of
+// internal/attack:
 //
-// All four attacks share one statistical framework (the paper's Fig. 5):
-// response bits are considered one by one (or in small groups); each of a
-// set of hypotheses about them maps to a specific helper-data
-// manipulation; the attacker injects a common offset of deterministic
-// errors to push the ECC to the edge of its correction radius, queries
-// the device's observable key-reconstruction failure under each
-// manipulated helper, and picks the hypothesis whose failure rate stays
-// at the nominal level.
+//   - the Fig. 5 distinguisher framework (Arm, Strategy, Distinguisher,
+//     Calibration) moved there verbatim and is re-exported here as type
+//     aliases, so existing callers keep compiling;
+//   - AttackSeqPair, AttackTempCo, AttackGroupBased and
+//     AttackDistillerMasking/Chain remain as thin deprecated shims that
+//     adapt the concrete *device.X argument into an attack.Target and
+//     dispatch through the attack registry.
 //
-//   - AttackSeqPair     — §VI-A, sequential pairing (LISA)
-//   - AttackTempCo      — §VI-B, temperature-aware cooperative RO PUF
-//   - AttackGroupBased  — §VI-C, group-based RO PUF
-//   - AttackDistillerMasking / AttackDistillerChain — §VI-D, entropy
-//     distiller with 1-out-of-k masking / overlapping neighbor chains
+// New code should use internal/attack directly: it adds context
+// cancellation, query budgets, progress callbacks, per-phase cost
+// breakdowns, and the batched concurrent oracle backend.
 package core
 
 import (
-	"errors"
-	"fmt"
-
-	"repro/internal/stats"
+	"repro/internal/attack"
 )
 
-// ErrNoArms reports a hypothesis test over an empty arm set — a malformed
-// attack configuration rather than a statistical outcome. Attacks return
-// it (wrapped) instead of crashing a long-running campaign.
-var ErrNoArms = errors.New("core: no hypothesis arms to distinguish")
+// ErrNoArms reports a hypothesis test over an empty arm set.
+//
+// Deprecated: use attack.ErrNoArms (same value).
+var ErrNoArms = attack.ErrNoArms
 
-// Arm is one hypothesis under test: a closure that installs the
-// hypothesis's helper manipulation (done once by the caller), then
-// performs one oracle query and reports FAILURE (true = the key-dependent
-// application misbehaved).
-type Arm func() bool
+// Arm is one hypothesis under test.
+//
+// Deprecated: use attack.Arm.
+type Arm = attack.Arm
 
 // Strategy selects how the distinguisher spends queries.
-type Strategy int
+//
+// Deprecated: use attack.Strategy.
+type Strategy = attack.Strategy
 
+// Distinguisher strategies.
+//
+// Deprecated: use the attack package's constants.
 const (
-	// FixedSample queries every arm the same number of times and takes
-	// the arm with the fewest failures.
-	FixedSample Strategy = iota
-	// Sequential runs Wald's SPRT per arm against calibrated nominal
-	// and elevated failure rates, returning the first arm accepted at
-	// the nominal rate. Falls back to FixedSample when no arm is
-	// accepted. Substantially cheaper at equal error probability — one
-	// of the repository's ablations.
-	Sequential
+	FixedSample Strategy = attack.FixedSample
+	Sequential  Strategy = attack.Sequential
 )
-
-// String implements fmt.Stringer.
-func (s Strategy) String() string {
-	switch s {
-	case FixedSample:
-		return "fixed-sample"
-	case Sequential:
-		return "sequential"
-	}
-	return fmt.Sprintf("Strategy(%d)", int(s))
-}
 
 // Distinguisher decides which of several helper-data hypotheses is
 // correct by comparing observable failure rates.
-type Distinguisher struct {
-	Strategy Strategy
-	// Queries is the per-arm budget of the fixed-sample strategy (and
-	// of the sequential fallback).
-	Queries int
-	// P0 and P1 are the calibrated failure rates under the correct
-	// hypothesis (nominal + injected offset) and under a wrong
-	// hypothesis (one extra error beyond the offset). Sequential only.
-	P0, P1 float64
-	// Alpha and Beta are the designed SPRT error probabilities.
-	Alpha, Beta float64
-	// MaxQueries caps a single SPRT run; 0 means 64 * Queries.
-	MaxQueries int
-}
+//
+// Deprecated: use attack.Distinguisher.
+type Distinguisher = attack.Distinguisher
 
 // DefaultDistinguisher returns a sequential distinguisher with
-// conservative defaults suitable for well-separated rates.
-func DefaultDistinguisher() Distinguisher {
-	return Distinguisher{
-		Strategy: Sequential,
-		Queries:  12,
-		P0:       0.05, P1: 0.95,
-		Alpha: 0.01, Beta: 0.01,
-	}
-}
-
-// normalized returns the distinguisher with defaults filled in and rates
-// clamped away from the degenerate endpoints.
-func (d Distinguisher) normalized() Distinguisher {
-	if d.Queries <= 0 {
-		d.Queries = 12
-	}
-	if d.Alpha <= 0 || d.Alpha >= 1 {
-		d.Alpha = 0.01
-	}
-	if d.Beta <= 0 || d.Beta >= 1 {
-		d.Beta = 0.01
-	}
-	const eps = 0.02
-	if d.P0 < eps {
-		d.P0 = eps
-	}
-	if d.P1 > 1-eps {
-		d.P1 = 1 - eps
-	}
-	if d.P0 >= d.P1 {
-		// Degenerate calibration; fall back to something sane.
-		d.P0, d.P1 = 0.05, 0.95
-	}
-	if d.MaxQueries <= 0 {
-		d.MaxQueries = 64 * d.Queries
-	}
-	return d
-}
-
-// Best returns the index of the arm with the lowest failure rate and the
-// total number of queries spent. An empty arm set returns (-1, 0);
-// callers treat that as ErrNoArms.
-func (d Distinguisher) Best(arms []Arm) (best, queries int) {
-	if len(arms) == 0 {
-		return -1, 0
-	}
-	d = d.normalized()
-	if len(arms) == 1 {
-		return 0, 0
-	}
-	if d.Strategy == Sequential {
-		total := 0
-		for i, arm := range arms {
-			s := stats.NewSPRT(d.P0, d.P1, d.Alpha, d.Beta)
-			decision := stats.SPRTContinue
-			for decision == stats.SPRTContinue && s.N() < d.MaxQueries {
-				decision = s.Observe(arm())
-			}
-			total += s.N()
-			if decision == stats.SPRTAcceptH0 {
-				return i, total
-			}
-		}
-		// No arm accepted at the nominal rate: fall back.
-		best, extra := d.fixedBest(arms)
-		return best, total + extra
-	}
-	return d.fixedBest(arms)
-}
-
-func (d Distinguisher) fixedBest(arms []Arm) (int, int) {
-	best, bestFails := 0, int(^uint(0)>>1)
-	total := 0
-	for i, arm := range arms {
-		fails := 0
-		for q := 0; q < d.Queries; q++ {
-			if arm() {
-				fails++
-			}
-		}
-		total += d.Queries
-		if fails < bestFails {
-			best, bestFails = i, fails
-		}
-	}
-	return best, total
-}
+// conservative defaults.
+//
+// Deprecated: use attack.DefaultDistinguisher.
+func DefaultDistinguisher() Distinguisher { return attack.DefaultDistinguisher() }
 
 // EstimateFailureRate queries an arm n times and returns the empirical
 // failure rate.
-func EstimateFailureRate(arm Arm, n int) float64 {
-	if n <= 0 {
-		return 0
-	}
-	fails := 0
-	for i := 0; i < n; i++ {
-		if arm() {
-			fails++
-		}
-	}
-	return float64(fails) / float64(n)
-}
+//
+// Deprecated: use attack.EstimateFailureRate.
+func EstimateFailureRate(arm Arm, n int) float64 { return attack.EstimateFailureRate(arm, n) }
 
 // Calibration holds the failure rates measured for reference injection
-// levels; attacks use it to parameterize the sequential distinguisher.
-type Calibration struct {
-	// PNominal is the failure rate with the common offset only (the
-	// correct-hypothesis rate, Fig. 5's H-correct PDF tail).
-	PNominal float64
-	// PElevated is the failure rate with one extra injected error (a
-	// wrong hypothesis's rate).
-	PElevated float64
-	// Queries spent measuring.
-	Queries int
-}
+// levels.
+//
+// Deprecated: use attack.Calibration.
+type Calibration = attack.Calibration
 
-// Calibrate measures the two reference rates. nominal and elevated are
-// arms with the attack's common offset and offset+1 deterministic errors
-// respectively, built with value-independent manipulations.
+// Calibrate measures the two reference rates.
+//
+// Deprecated: use attack.Calibrate.
 func Calibrate(nominal, elevated Arm, queriesEach int) Calibration {
-	return Calibration{
-		PNominal:  EstimateFailureRate(nominal, queriesEach),
-		PElevated: EstimateFailureRate(elevated, queriesEach),
-		Queries:   2 * queriesEach,
-	}
+	return attack.Calibrate(nominal, elevated, queriesEach)
 }
-
-// Apply transfers calibrated rates onto a distinguisher.
-func (c Calibration) Apply(d Distinguisher) Distinguisher {
-	d.P0 = c.PNominal
-	d.P1 = c.PElevated
-	return d.normalized()
-}
-
-// Separation returns the rate gap; attacks abort when it collapses.
-func (c Calibration) Separation() float64 { return c.PElevated - c.PNominal }

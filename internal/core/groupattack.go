@@ -1,19 +1,17 @@
 package core
 
 import (
-	"fmt"
-	"sort"
+	"context"
 
+	"repro/internal/attack"
 	"repro/internal/bitvec"
 	"repro/internal/device"
-	"repro/internal/distiller"
-	"repro/internal/ecc"
-	"repro/internal/groupbased"
-	"repro/internal/perm"
 	"repro/internal/rng"
 )
 
 // GroupBasedConfig tunes the §VI-C attack.
+//
+// Deprecated: use attack.Options with the "groupbased" registry entry.
 type GroupBasedConfig struct {
 	Dist Distinguisher
 	// PatternAmpMHz is the steepness of the injected pattern; it must
@@ -43,332 +41,22 @@ type GroupBasedResult struct {
 // AttackGroupBased runs the paper's §VI-C full key recovery against a
 // deployed group-based RO PUF.
 //
-// For every pair of oscillators (a, b) sharing an ORIGINAL group, the
-// attacker superimposes onto the enrolled distiller polynomial a steep
-// plane whose level lines run through a and b (the generalization of the
-// Fig. 6a quadratic: a and b receive identical pattern values, everyone
-// else is dominated by the gradient), repartitions the array into
-// attacker-chosen groups ({a, b} plus forced pairs across distinct level
-// lines, leftovers as singletons), recomputes the code-offset redundancy
-// for both hypotheses about the one undetermined bit — with the common
-// error offset folded in — and compares failure rates. The recovered
-// pairwise relations reassemble each original group's frequency order
-// and hence the full key.
+// Deprecated: thin shim over the "groupbased" attack in internal/attack.
 func AttackGroupBased(d *device.GroupBasedDevice, cfg GroupBasedConfig) (GroupBasedResult, error) {
-	original := d.ReadHelper()
-	defer func() { _ = d.WriteHelper(original) }()
-
-	p := d.Params()
-	if cfg.PatternAmpMHz <= 0 {
-		cfg.PatternAmpMHz = 1000
-	}
-	if cfg.Src == nil {
-		cfg.Src = rng.New(0xa77ac4)
-	}
-	tcap := p.Code.T()
-	if cfg.InjectErrors <= 0 || cfg.InjectErrors > tcap {
-		cfg.InjectErrors = tcap
-	}
-	startQueries := d.Queries()
-
-	members := original.Grouping.Members()
-	// rel[a][b] = true when residual(b) > residual(a); keyed a < b.
-	rel := make(map[[2]int]bool)
-	for _, group := range members {
-		for i := 0; i < len(group); i++ {
-			for j := i + 1; j < len(group); j++ {
-				a, b := group[i], group[j]
-				bit, err := decidePairOrder(d, original, cfg, a, b)
-				if err != nil {
-					return GroupBasedResult{}, fmt.Errorf("core: pair (%d,%d): %w", a, b, err)
-				}
-				rel[[2]int{a, b}] = bit
-			}
-		}
-	}
-
-	// Reassemble each group's order from the pairwise tournament.
-	res := GroupBasedResult{Orders: make([][]int, len(members))}
-	allResolved := true
-	for g, group := range members {
-		if len(group) < 2 {
-			res.Orders[g] = []int{}
-			if len(group) == 1 {
-				res.Orders[g] = []int{0}
-			}
-			res.Resolved++
-			continue
-		}
-		order, ok := orderFromRelations(group, rel)
-		if !ok {
-			allResolved = false
-			continue
-		}
-		res.Orders[g] = order
-		res.Resolved++
-	}
-	if allResolved {
-		// Offline polish: the original offset binds the enrolled Kendall
-		// stream; decoding our recovered stream against it repairs
-		// noise-marginal order decisions (up to t per block) for free.
-		stream := bitvec.New(0)
-		for g, group := range members {
-			if len(group) >= 2 {
-				stream = stream.Concat(perm.KendallEncode(res.Orders[g]))
-			}
-		}
-		stream = polishWithOriginalOffset(stream, original.Offset, p.Code)
-		if key, err := groupbased.PackKey(&original.Grouping, stream); err == nil {
-			res.Key = key
-			// Re-derive the polished orders for reporting.
-			at := 0
-			for g, group := range members {
-				n := len(group)
-				if n < 2 {
-					continue
-				}
-				bits := perm.KendallBits(n)
-				if order, err := perm.KendallDecode(stream.Slice(at, at+bits), n); err == nil {
-					res.Orders[g] = order
-				}
-				at += bits
-			}
-		} else {
-			// Packing failed after polish (should not happen with valid
-			// orders); fall back to the unpolished assembly.
-			key := bitvec.New(0)
-			for g, group := range members {
-				if len(group) >= 2 {
-					key = key.Concat(perm.CompactEncode(res.Orders[g]))
-				}
-			}
-			res.Key = key
-		}
-	}
-	res.Queries = d.Queries() - startQueries
-	return res, nil
-}
-
-// decidePairOrder recovers [residual(b) > residual(a)] for one target
-// pair via the two-hypothesis helper manipulation.
-func decidePairOrder(d *device.GroupBasedDevice, original groupbased.Helper, cfg GroupBasedConfig, a, b int) (bool, error) {
-	p := d.Params()
-	arr := d.Array()
-	xa, ya := arr.Pos(a)
-	xb, yb := arr.Pos(b)
-
-	pattern, levels := levelPlane(arr.Cols(), arr.Rows(), xa, ya, xb, yb, cfg.PatternAmpMHz)
-	groups, predicted := designPartition(arr.N(), a, b, levels)
-
-	grouping, err := groupbased.PairsToGrouping(arr.N(), groups)
+	rep, err := attack.Run(context.Background(), "groupbased", attack.NewGroupBasedTarget(d), attack.Options{
+		Dist:          cfg.Dist,
+		PatternAmpMHz: cfg.PatternAmpMHz,
+		InjectErrors:  cfg.InjectErrors,
+		Src:           cfg.Src,
+	})
 	if err != nil {
-		return false, err
+		return GroupBasedResult{}, err
 	}
-	poly := distiller.Poly2D{P: original.Poly.P, Beta: append([]float64(nil), original.Poly.Beta...)}
-	poly = poly.Add(pattern)
-
-	// Build the predicted Kendall stream. Group 0 is the target pair,
-	// its bit is the hypothesis; groups follow in id order, one bit per
-	// two-member group, no bits for singletons.
-	streamLen := groupbased.StreamLen(&grouping)
-	makeArm := func(hypBit bool) (Arm, error) {
-		stream := bitvec.New(streamLen)
-		at := 0
-		for id, g := range grouping.Members() {
-			if len(g) < 2 {
-				continue
-			}
-			if id == 0 {
-				stream.Set(at, hypBit)
-			} else {
-				stream.Set(at, predicted[id])
-			}
-			at++
-		}
-		// Common offset: flip InjectErrors forced bits inside the
-		// target bit's ECC block (positions 1.. within block 0).
-		injected := stream.Clone()
-		count := 0
-		for pos := 1; pos < min(p.Code.N(), streamLen) && count < cfg.InjectErrors; pos++ {
-			injected.Flip(pos)
-			count++
-		}
-		if count < cfg.InjectErrors {
-			return nil, fmt.Errorf("core: only %d injectable bits in block", count)
-		}
-		padded := injected.Concat(bitvec.New(paddedLen(streamLen, p.Code) - streamLen))
-		blocks := padded.Len() / p.Code.N()
-		block := ecc.NewBlock(p.Code, blocks)
-		msg := bitvec.New(block.K())
-		for i := 0; i < msg.Len(); i++ {
-			msg.Set(i, cfg.Src.Bool())
-		}
-		offset := ecc.OffsetFor(block, padded, msg)
-
-		// The application key the attacker predicts for this arm: the
-		// code-offset recovers the stream the offset was GENERATED for,
-		// i.e. the injected stream — the device's key is its packing.
-		// (All attacker groups have at most two members, so any bit
-		// pattern is a valid Kendall coding and packing cannot fail.)
-		predKey, err := groupbased.PackKey(&grouping, padded)
-		if err != nil {
-			return nil, err
-		}
-		helper := groupbased.Helper{Poly: poly, Grouping: grouping, Offset: offset.W}
-		return func() bool {
-			if err := d.WriteHelper(helper); err != nil {
-				return true
-			}
-			d.BindKey(predKey)
-			return !d.App()
-		}, nil
-	}
-
-	arm0, err := makeArm(false)
-	if err != nil {
-		return false, err
-	}
-	arm1, err := makeArm(true)
-	if err != nil {
-		return false, err
-	}
-	best, _ := cfg.Dist.Best([]Arm{arm0, arm1})
-	if best < 0 {
-		return false, ErrNoArms
-	}
-	return best == 1, nil
-}
-
-// levelPlane returns the steep plane whose level lines pass through both
-// targets, together with the integer level key of every oscillator
-// (equal keys = equal pattern values, exactly).
-func levelPlane(cols, rows, xa, ya, xb, yb int, amp float64) (distiller.Poly2D, []int) {
-	pattern := distiller.PerpendicularPlane(xa, ya, xb, yb, amp)
-	nx, ny := -(yb - ya), xb-xa
-	levels := make([]int, rows*cols)
-	for i := range levels {
-		x, y := i%cols, i/cols
-		levels[i] = nx*x + ny*y
-	}
-	return pattern, levels
-}
-
-// designPartition builds the attacker's group list: group 0 is the target
-// pair; remaining oscillators are paired across DISTINCT level lines so
-// every forced pair's order is dominated by the pattern; oscillators left
-// over become singletons. predicted[id] gives the forced Kendall bit of
-// two-member group id: with labels ordered by ascending RO index, the bit
-// is 1 when the higher-index member has the LOWER pattern level (its
-// distilled residual is larger).
-func designPartition(n, a, b int, levels []int) (groups [][]int, predicted map[int]bool) {
-	groups = [][]int{{a, b}}
-	predicted = map[int]bool{}
-
-	// Bucket the remaining oscillators by level.
-	byLevel := map[int][]int{}
-	for i := 0; i < n; i++ {
-		if i == a || i == b {
-			continue
-		}
-		byLevel[levels[i]] = append(byLevel[levels[i]], i)
-	}
-	keys := make([]int, 0, len(byLevel))
-	for k := range byLevel {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-
-	// Repeatedly pair one member from the two currently largest level
-	// classes; this admits a perfect rainbow matching whenever no class
-	// holds more than half the remainder, and gracefully leaves
-	// singletons otherwise.
-	type class struct {
-		level int
-		ros   []int
-	}
-	classes := make([]*class, 0, len(keys))
-	for _, k := range keys {
-		classes = append(classes, &class{level: k, ros: byLevel[k]})
-	}
-	largestTwo := func() (int, int) {
-		i1, i2 := -1, -1
-		for i, c := range classes {
-			if len(c.ros) == 0 {
-				continue
-			}
-			if i1 == -1 || len(c.ros) > len(classes[i1].ros) {
-				i2 = i1
-				i1 = i
-			} else if i2 == -1 || len(c.ros) > len(classes[i2].ros) {
-				i2 = i
-			}
-		}
-		return i1, i2
-	}
-	for {
-		i1, i2 := largestTwo()
-		if i1 == -1 || i2 == -1 {
-			break
-		}
-		c1, c2 := classes[i1], classes[i2]
-		ro1 := c1.ros[len(c1.ros)-1]
-		ro2 := c2.ros[len(c2.ros)-1]
-		c1.ros = c1.ros[:len(c1.ros)-1]
-		c2.ros = c2.ros[:len(c2.ros)-1]
-		id := len(groups)
-		groups = append(groups, []int{ro1, ro2})
-		// Canonical label order is ascending RO index; label B (the
-		// higher index) precedes when its pattern value is lower.
-		low, high := ro1, ro2
-		if low > high {
-			low, high = high, low
-		}
-		predicted[id] = levels[high] < levels[low]
-	}
-	// Leftovers become singleton groups.
-	for _, c := range classes {
-		for _, ro := range c.ros {
-			groups = append(groups, []int{ro})
-		}
-	}
-	return groups, predicted
-}
-
-// orderFromRelations reconstructs a group's descending order (in label
-// space) from pairwise relations; ok=false when the tournament is not
-// transitive.
-func orderFromRelations(group []int, rel map[[2]int]bool) ([]int, bool) {
-	n := len(group)
-	wins := make([]int, n)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			a, b := group[i], group[j]
-			// rel = residual(b) > residual(a)
-			if rel[[2]int{a, b}] {
-				wins[j]++
-			} else {
-				wins[i]++
-			}
-		}
-	}
-	order := make([]int, n)
-	seen := make([]bool, n)
-	for label, w := range wins {
-		pos := n - 1 - w
-		if pos < 0 || pos >= n || seen[pos] {
-			return nil, false
-		}
-		seen[pos] = true
-		order[pos] = label
-	}
-	return order, true
-}
-
-func paddedLen(streamLen int, code ecc.Code) int {
-	n := code.N()
-	blocks := (streamLen + n - 1) / n
-	if blocks == 0 {
-		blocks = 1
-	}
-	return blocks * n
+	det := rep.Details.(attack.GroupBasedDetails)
+	return GroupBasedResult{
+		Orders:   det.Orders,
+		Key:      rep.Key,
+		Resolved: det.Resolved,
+		Queries:  rep.Queries,
+	}, nil
 }

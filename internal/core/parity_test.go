@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/device"
+	"repro/internal/rng"
+)
+
+// Oracle parity: each legacy entry point and its attack.Attack registry
+// port must recover identical keys with identical query counts when run
+// against identically enrolled devices with the serial (workers = 1)
+// in-process oracle. The legacy functions are shims over the registry,
+// so these goldens pin the whole chain — config mapping, image codecs,
+// adapter round trips, registry dispatch — to the bit.
+
+func defaultOpts() attack.Options {
+	return attack.Options{Dist: attack.DefaultDistinguisher()}
+}
+
+func TestParitySeqPair(t *testing.T) {
+	legacyDev := seqDevice(t, 123, true)
+	portDev := seqDevice(t, 123, true)
+
+	legacy, err := AttackSeqPair(legacyDev, SeqPairConfig{Dist: DefaultDistinguisher()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := attack.Run(context.Background(), "seqpair", attack.NewSeqPairTarget(portDev), defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !legacy.Key.Equal(rep.Key) {
+		t.Fatalf("key mismatch:\nlegacy %s\nport   %s", legacy.Key, rep.Key)
+	}
+	if legacy.Ambiguous != rep.Ambiguous {
+		t.Fatalf("ambiguous mismatch: %v vs %v", legacy.Ambiguous, rep.Ambiguous)
+	}
+	if legacy.Queries != rep.Queries {
+		t.Fatalf("query count mismatch: legacy %d, port %d", legacy.Queries, rep.Queries)
+	}
+	det := rep.Details.(attack.SeqPairDetails)
+	for j := range legacy.Relations {
+		if legacy.Relations[j] != det.Relations[j] {
+			t.Fatalf("relation %d mismatch", j)
+		}
+	}
+}
+
+func TestParityTempCo(t *testing.T) {
+	enroll := func() *device.TempCoDevice {
+		d, err := device.EnrollTempCo(tempcoParams(), rng.New(55), rng.New(56))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	legacy, err := AttackTempCo(enroll(), TempCoConfig{Dist: DefaultDistinguisher()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := attack.Run(context.Background(), "tempco", attack.NewTempCoTarget(enroll()), defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := rep.Details.(attack.TempCoDetails)
+	if legacy.Queries != rep.Queries {
+		t.Fatalf("query count mismatch: legacy %d, port %d", legacy.Queries, rep.Queries)
+	}
+	if legacy.RefIdx != det.RefIdx {
+		t.Fatalf("reference pair mismatch: %d vs %d", legacy.RefIdx, det.RefIdx)
+	}
+	if len(legacy.XorWithRef) != len(det.XorWithRef) {
+		t.Fatalf("relation count mismatch: %d vs %d", len(legacy.XorWithRef), len(det.XorWithRef))
+	}
+	for k, v := range legacy.XorWithRef {
+		if got, ok := det.XorWithRef[k]; !ok || got != v {
+			t.Fatalf("relation %d mismatch: legacy %v, port %v (present %v)", k, v, got, ok)
+		}
+	}
+	for k, v := range legacy.MaskBits {
+		if got, ok := det.MaskBits[k]; !ok || got != v {
+			t.Fatalf("mask bit %d mismatch", k)
+		}
+	}
+}
+
+func TestParityGroupBased(t *testing.T) {
+	legacy, err := AttackGroupBased(groupDevice(t, 321), GroupBasedConfig{Dist: DefaultDistinguisher()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := attack.Run(context.Background(), "groupbased", attack.NewGroupBasedTarget(groupDevice(t, 321)), defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !legacy.Key.Equal(rep.Key) {
+		t.Fatalf("key mismatch:\nlegacy %s\nport   %s", legacy.Key, rep.Key)
+	}
+	if legacy.Queries != rep.Queries {
+		t.Fatalf("query count mismatch: legacy %d, port %d", legacy.Queries, rep.Queries)
+	}
+	if legacy.Resolved != rep.Details.(attack.GroupBasedDetails).Resolved {
+		t.Fatal("resolved count mismatch")
+	}
+}
+
+func TestParityMasking(t *testing.T) {
+	legacy, err := AttackDistillerMasking(distillerDevice(t, 77, device.MaskedChain), DistillerConfig{Dist: DefaultDistinguisher()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := attack.Run(context.Background(), "masking",
+		attack.NewDistillerTarget(distillerDevice(t, 77, device.MaskedChain)), defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !legacy.Key.Equal(rep.Key) {
+		t.Fatalf("key mismatch:\nlegacy %s\nport   %s", legacy.Key, rep.Key)
+	}
+	if legacy.Queries != rep.Queries {
+		t.Fatalf("query count mismatch: legacy %d, port %d", legacy.Queries, rep.Queries)
+	}
+}
+
+func TestParityChain(t *testing.T) {
+	legacy, err := AttackDistillerChain(distillerDevice(t, 88, device.OverlappingChain), DistillerConfig{Dist: DefaultDistinguisher()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := attack.Run(context.Background(), "chain",
+		attack.NewDistillerTarget(distillerDevice(t, 88, device.OverlappingChain)), defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !legacy.Key.Equal(rep.Key) {
+		t.Fatalf("key mismatch:\nlegacy %s\nport   %s", legacy.Key, rep.Key)
+	}
+	if legacy.Queries != rep.Queries {
+		t.Fatalf("query count mismatch: legacy %d, port %d", legacy.Queries, rep.Queries)
+	}
+	if legacy.MaxHypotheses != rep.Details.(attack.ChainDetails).MaxHypotheses {
+		t.Fatal("hypothesis count mismatch")
+	}
+}

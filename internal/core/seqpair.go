@@ -1,15 +1,16 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
+	"repro/internal/attack"
 	"repro/internal/bitvec"
 	"repro/internal/device"
-	"repro/internal/ecc"
-	"repro/internal/pairing"
 )
 
 // SeqPairConfig tunes the §VI-A attack.
+//
+// Deprecated: use attack.Options with the "seqpair" registry entry.
 type SeqPairConfig struct {
 	Dist Distinguisher
 	// CalibrationQueries sizes the up-front rate calibration (0 = 24).
@@ -40,185 +41,23 @@ type SeqPairResult struct {
 // AttackSeqPair runs the paper's §VI-A key recovery against a deployed
 // sequential-pairing device.
 //
-// Hypotheses H0: r_0 = r_j, H1: r_0 != r_j are distinguished by swapping
-// the POSITIONS of pairs 0 and j in the helper list, which injects two
-// bit errors exactly when the bits differ. The common offset uses
-// within-pair order swaps — each inverts one response bit
-// deterministically and value-independently ("one can select these pairs
-// which will introduce a pair of erroneous bits for sure" generalizes to
-// this cheaper injector once the storage format compares stored order).
-// The final complement decision compares the consistency of the two
-// candidate keys with crafted sets of ECC helper data.
+// Deprecated: thin shim over the "seqpair" attack in internal/attack,
+// which adds context, budgets, progress and batched oracle backends.
 func AttackSeqPair(d *device.SeqPairDevice, cfg SeqPairConfig) (SeqPairResult, error) {
-	original := d.ReadHelper()
-	defer func() { _ = d.WriteHelper(original) }() // leave the device as found
-
-	m := len(original.Pairs.Pairs)
-	code := d.Code()
-	t := code.T()
-	if cfg.InjectErrors <= 0 || cfg.InjectErrors > t {
-		cfg.InjectErrors = t
-	}
-	if cfg.CalibrationQueries <= 0 {
-		cfg.CalibrationQueries = 24
-	}
-	blockLen := code.N()
-	// Every test focuses on ECC block 0: the reference pair 0 lives
-	// there, and injections must share its block to add up.
-	inBlock0 := min(blockLen, m)
-	if inBlock0 < cfg.InjectErrors+2 {
-		return SeqPairResult{}, fmt.Errorf("core: block 0 holds %d pairs, need %d for injection",
-			inBlock0, cfg.InjectErrors+2)
-	}
-
-	startQueries := d.Queries()
-
-	// armWith writes a helper derived from the original by swapping the
-	// within-pair order at positions `invert` and swapping the list
-	// positions of pairs a and b (a == b means no position swap).
-	install := func(invert []int, a, b int) error {
-		h := device.SeqPairHelperNVM{
-			Pairs:  pairing.SeqPairHelper{Pairs: append([]pairing.Pair(nil), original.Pairs.Pairs...)},
-			Offset: original.Offset,
-		}
-		for _, idx := range invert {
-			h.Pairs.Pairs[idx] = h.Pairs.Pairs[idx].Swapped()
-		}
-		if a != b {
-			h.Pairs.Pairs[a], h.Pairs.Pairs[b] = h.Pairs.Pairs[b], h.Pairs.Pairs[a]
-		}
-		return d.WriteHelper(h)
-	}
-
-	// injectionSet returns cfg.InjectErrors positions inside block 0
-	// avoiding the two pairs under test.
-	injectionSet := func(avoid ...int) []int {
-		skip := make(map[int]bool, len(avoid))
-		for _, a := range avoid {
-			skip[a] = true
-		}
-		var out []int
-		for p := 0; p < inBlock0 && len(out) < cfg.InjectErrors; p++ {
-			if !skip[p] {
-				out = append(out, p)
-			}
-		}
-		return out
-	}
-
-	// Calibration: rates at offset and offset+1 errors, all via
-	// value-independent within-pair swaps.
-	calNom := injectionSet()
-	calElev := injectionSet()
-	for p := 0; p < inBlock0; p++ {
-		if !contains(calElev, p) {
-			calElev = append(calElev, p)
-			break
-		}
-	}
-	if err := install(calNom, 0, 0); err != nil {
+	rep, err := attack.Run(context.Background(), "seqpair", attack.NewSeqPairTarget(d), attack.Options{
+		Dist:               cfg.Dist,
+		CalibrationQueries: cfg.CalibrationQueries,
+		InjectErrors:       cfg.InjectErrors,
+	})
+	if err != nil {
 		return SeqPairResult{}, err
 	}
-	nominalArm := Arm(func() bool { return !d.App() })
-	pNom := EstimateFailureRate(nominalArm, cfg.CalibrationQueries)
-	if err := install(calElev, 0, 0); err != nil {
-		return SeqPairResult{}, err
-	}
-	pElev := EstimateFailureRate(nominalArm, cfg.CalibrationQueries)
-	cal := Calibration{PNominal: pNom, PElevated: pElev, Queries: 2 * cfg.CalibrationQueries}
-	dist := cal.Apply(cfg.Dist)
-
-	// Relation recovery: for each j, arm A = injections only (H0-like
-	// reference), arm B = injections + position swap of pairs 0 and j.
-	relations := make([]bool, m)
-	for j := 1; j < m; j++ {
-		inj := injectionSet(0, j)
-		armRef := func() bool {
-			if err := install(inj, 0, 0); err != nil {
-				return true
-			}
-			return !d.App()
-		}
-		armSwap := func() bool {
-			if err := install(inj, 0, j); err != nil {
-				return true
-			}
-			return !d.App()
-		}
-		// Arms ordered so index 0 = "bits equal" (swap is a no-op on
-		// the key, failure stays nominal) — for the swap arm. The
-		// reference arm identifies the nominal level; Best picks the
-		// arm behaving nominally. If the swap arm is nominal, bits are
-		// equal.
-		best, _ := dist.Best([]Arm{armSwap, armRef})
-		if best < 0 {
-			return SeqPairResult{}, fmt.Errorf("core: pair %d: %w", j, ErrNoArms)
-		}
-		relations[j] = best != 0 // swap arm elevated => bits differ
-	}
-
-	// Assemble the two key candidates.
-	cand0 := bitvec.New(m)
-	for j := 1; j < m; j++ {
-		cand0.Set(j, relations[j]) // assumes r_0 = 0
-	}
-	cand1 := cand0.Not()
-
-	// Complement decision. Offline first: check code-offset consistency
-	// of both candidates against the original ECC helper.
-	key, ambiguous := resolveComplement(d, original, cand0, cand1)
-
+	det := rep.Details.(attack.SeqPairDetails)
 	return SeqPairResult{
-		Relations:   relations,
-		Key:         key,
-		Ambiguous:   ambiguous,
-		Queries:     d.Queries() - startQueries,
-		Calibration: cal,
+		Relations:   det.Relations,
+		Key:         rep.Key,
+		Ambiguous:   rep.Ambiguous,
+		Queries:     rep.Queries,
+		Calibration: det.Calibration,
 	}, nil
-}
-
-// resolveComplement implements the paper's final decision: "the
-// performance of two corresponding sets of ECC helper data can be
-// compared". The offline consistency check against the original offset
-// decides whenever the deployed code excludes the relevant all-ones
-// pattern; otherwise the two candidates are information-theoretically
-// indistinguishable through this oracle and the result stays ambiguous.
-func resolveComplement(d *device.SeqPairDevice, original device.SeqPairHelperNVM, cand0, cand1 bitvec.Vector) (bitvec.Vector, bool) {
-	code := d.Code()
-	blocks := original.Offset.Len() / code.N()
-	block := ecc.NewBlock(code, blocks)
-	pad := func(v bitvec.Vector) bitvec.Vector {
-		return v.Concat(bitvec.New(original.Offset.Len() - v.Len()))
-	}
-	off := ecc.Offset{W: original.Offset}
-	ok0 := ecc.ConsistentWith(block, off, pad(cand0))
-	ok1 := ecc.ConsistentWith(block, off, pad(cand1))
-	switch {
-	case ok0 && !ok1:
-		return cand0, false
-	case ok1 && !ok0:
-		return cand1, false
-	default:
-		// Both consistent (all-ones pattern is a codeword) or neither
-		// (some relation decided wrongly): query-based comparison of
-		// crafted helper sets cannot separate the former case either;
-		// return the r_0=0 candidate and flag it.
-		return cand0, true
-	}
-}
-
-func contains(xs []int, v int) bool {
-	for _, x := range xs {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

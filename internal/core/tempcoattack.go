@@ -1,13 +1,15 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
+	"repro/internal/attack"
 	"repro/internal/device"
-	"repro/internal/tempco"
 )
 
 // TempCoConfig tunes the §VI-B attack.
+//
+// Deprecated: use attack.Options with the "tempco" registry entry.
 type TempCoConfig struct {
 	Dist Distinguisher
 	// CalibrationQueries sizes the rate calibration (0 = 24).
@@ -46,295 +48,24 @@ type TempCoResult struct {
 // deployed temperature-aware cooperative RO PUF at its current ambient
 // temperature.
 //
-// A "requesting" cooperating pair c is forced into cooperation by
-// rewriting its crossover interval to contain the ambient temperature;
-// its reconstructed bit then equals r_x XOR r_g for whatever helping
-// pair x the attacker designates, and substituting x while watching the
-// failure rate decides r_x versus r_ci (the originally designated
-// helper). The common error offset uses the interval-boundary
-// manipulation the paper suggests — shifting Tl/Th so the device applies
-// crossover compensation wrongly — extended to GOOD pairs by relabeling
-// their class tag (the tag is helper data too), which makes the
-// injection pool essentially the whole block.
+// Deprecated: thin shim over the "tempco" attack in internal/attack.
 func AttackTempCo(d *device.TempCoDevice, cfg TempCoConfig) (TempCoResult, error) {
-	original := d.ReadHelper()
-	defer func() { _ = d.WriteHelper(original) }()
-
-	p := d.Params()
-	tcap := p.Code.T()
-	if cfg.InjectErrors <= 0 || cfg.InjectErrors > tcap {
-		cfg.InjectErrors = tcap
-	}
-	if cfg.CalibrationQueries <= 0 {
-		cfg.CalibrationQueries = 24
-	}
-	ambient := d.Environment().TempC
-	blockLen := p.Code.N()
-	startQueries := d.Queries()
-
-	// Census of the helper.
-	var coop, good []int
-	inInterval := make(map[int]bool) // cooperating pair unstable at ambient
-	protected := make(map[int]bool)  // records other pairs rely on at ambient
-	for i, info := range original.Pairs {
-		switch info.Class {
-		case tempco.Cooperating:
-			coop = append(coop, i)
-			if ambient >= info.Tl && ambient <= info.Th {
-				inInterval[i] = true
-				protected[info.HelpIdx] = true
-				protected[info.MaskIdx] = true
-			}
-			// A good pair referenced as a mask must KEEP its Good class
-			// tag or the device's structural validation rejects the
-			// helper — it cannot be relabeled for injection.
-			protected[info.MaskIdx] = true
-		case tempco.Good:
-			good = append(good, i)
-		}
-	}
-	if len(coop) < 3 {
-		return TempCoResult{}, fmt.Errorf("core: only %d cooperating pairs, need >= 3", len(coop))
-	}
-	if len(good) < 2 {
-		return TempCoResult{}, fmt.Errorf("core: need at least 2 good pairs")
-	}
-
-	// Reserve one good pair per block as a mask anchor that is never
-	// relabeled (relabeled pairs need a valid Good MaskIdx).
-	maskAnchor := good[0]
-
-	// Pick a requesting pair not relied on by others whose ORIGINAL
-	// helping pair is stable at ambient — the device refuses to
-	// cooperate through a helper inside its own declared interval, so
-	// an unstable reference would break the baseline arm. The
-	// requester's ECC block must also hold enough injectable pairs for
-	// the common offset (a requester alone in the final short block is
-	// useless), so viability is checked against the injection pool; the
-	// pool itself is defined below and only depends on the census.
-	usableRequester := func(c int) bool {
-		if protected[c] {
-			return false
-		}
-		hi := original.Pairs[c].HelpIdx
-		return !inInterval[hi]
-	}
-	requester := -1
-	var refHelper int
-
-	// injectionPool lists value-independent deterministic error
-	// injectors in the given ECC block: stable cooperating pairs get
-	// their interval shifted to force a wrong compensation; good pairs
-	// get relabeled as cooperating with a below-ambient interval.
-	injectionPool := func(blk int, avoid map[int]bool) []int {
-		var out []int
-		for _, k := range coop {
-			if k/blockLen != blk || avoid[k] || protected[k] || inInterval[k] {
-				continue
-			}
-			out = append(out, k)
-		}
-		for _, k := range good {
-			if k/blockLen != blk || avoid[k] || protected[k] || k == maskAnchor {
-				continue
-			}
-			out = append(out, k)
-		}
-		return out
-	}
-
-	// applyInjection mutates one helper record so that pair k's
-	// reconstructed bit inverts deterministically at ambient.
-	applyInjection := func(h *tempco.Helper, k int) {
-		info := &h.Pairs[k]
-		switch original.Pairs[k].Class {
-		case tempco.Cooperating:
-			if ambient < original.Pairs[k].Tl {
-				// Not crossed yet; a declared interval below ambient
-				// makes the device invert wrongly.
-				info.Tl, info.Th = ambient-10, ambient-5
-			} else {
-				// Already crossed; a declared interval above ambient
-				// suppresses the needed inversion.
-				info.Tl, info.Th = ambient+5, ambient+10
-			}
-		case tempco.Good:
-			// Relabel as cooperating with a below-ambient interval: the
-			// device inverts the (stable) measured bit.
-			info.Class = tempco.Cooperating
-			info.Tl, info.Th = ambient-10, ambient-5
-			info.MaskIdx = maskAnchor
-			info.HelpIdx = requester // any cooperating pair; never used
-		}
-	}
-
-	// install writes a helper with the requester forced into
-	// cooperation via helping pair x plus the listed injections.
-	install := func(req, x int, inject []int) error {
-		h := tempco.Helper{Pairs: append([]tempco.PairInfo(nil), original.Pairs...), Offset: original.Offset}
-		h.Pairs[req].Tl = ambient - 1
-		h.Pairs[req].Th = ambient + 1
-		h.Pairs[req].HelpIdx = x
-		for _, k := range inject {
-			applyInjection(&h, k)
-		}
-		return d.WriteHelper(h)
-	}
-
-	// Requester selection, now that pool viability can be evaluated:
-	// two passes, preferring requesters stable at ambient.
-	for _, stableOnly := range []bool{true, false} {
-		for _, c := range coop {
-			if !usableRequester(c) || (stableOnly && inInterval[c]) {
-				continue
-			}
-			hi := original.Pairs[c].HelpIdx
-			pool := injectionPool(c/blockLen, map[int]bool{c: true, hi: true})
-			if len(pool) >= cfg.InjectErrors+1 {
-				requester, refHelper = c, hi
-				break
-			}
-		}
-		if requester != -1 {
-			break
-		}
-	}
-	if requester == -1 {
-		return TempCoResult{}, fmt.Errorf("core: no requesting pair with a stable reference and a viable injection pool at %v C", ambient)
-	}
-
-	blk := requester / blockLen
-	basePool := injectionPool(blk, map[int]bool{requester: true, refHelper: true})
-
-	// Calibration: offset and offset+1 rates.
-	if err := install(requester, refHelper, basePool[:cfg.InjectErrors]); err != nil {
+	rep, err := attack.Run(context.Background(), "tempco", attack.NewTempCoTarget(d), attack.Options{
+		Dist:               cfg.Dist,
+		CalibrationQueries: cfg.CalibrationQueries,
+		InjectErrors:       cfg.InjectErrors,
+	})
+	if err != nil {
 		return TempCoResult{}, err
 	}
-	failArm := Arm(func() bool { return !d.App() })
-	pNom := EstimateFailureRate(failArm, cfg.CalibrationQueries)
-	if err := install(requester, refHelper, basePool[:cfg.InjectErrors+1]); err != nil {
-		return TempCoResult{}, err
-	}
-	pElev := EstimateFailureRate(failArm, cfg.CalibrationQueries)
-	cal := Calibration{PNominal: pNom, PElevated: pElev, Queries: 2 * cfg.CalibrationQueries}
-	dist := cal.Apply(cfg.Dist)
-
-	// Relation recovery: t(x) = [r_x != r_refHelper] for every other
-	// cooperating pair x stable at ambient.
-	xorWithRef := map[int]bool{refHelper: false}
-	var skipped []int
-	for _, x := range coop {
-		if x == requester || x == refHelper {
-			continue
-		}
-		if inInterval[x] {
-			skipped = append(skipped, x)
-			continue
-		}
-		pool := injectionPool(blk, map[int]bool{requester: true, refHelper: true, x: true})
-		if len(pool) < cfg.InjectErrors {
-			skipped = append(skipped, x)
-			continue
-		}
-		inj := pool[:cfg.InjectErrors]
-		armSub := func() bool {
-			if err := install(requester, x, inj); err != nil {
-				return true
-			}
-			return !d.App()
-		}
-		armRef := func() bool {
-			if err := install(requester, refHelper, inj); err != nil {
-				return true
-			}
-			return !d.App()
-		}
-		best, _ := dist.Best([]Arm{armSub, armRef})
-		if best < 0 {
-			return TempCoResult{}, fmt.Errorf("core: pair %d: %w", x, ErrNoArms)
-		}
-		xorWithRef[x] = best != 0
-	}
-
-	// The requester itself gets its relation through a second requester.
-	if rel, ok := testThroughSecondRequester(d, original, dist, cfg, install, injectionPool, xorWithRef,
-		coop, inInterval, protected, requester, refHelper, blockLen); ok {
-		xorWithRef[requester] = rel
-	}
-
-	// Absolute mask-bit recovery: r_g = r_c XOR r_ci for every
-	// cooperating pair whose two relations are known.
-	maskBits := make(map[int]bool)
-	for _, c := range coop {
-		relC, okC := xorWithRef[c]
-		info := original.Pairs[c]
-		relCi, okCi := xorWithRef[info.HelpIdx]
-		if okC && okCi && info.MaskIdx >= 0 {
-			maskBits[info.MaskIdx] = relC != relCi
-		}
-	}
-
+	det := rep.Details.(attack.TempCoDetails)
 	return TempCoResult{
-		CoopIdx:     coop,
-		XorWithRef:  xorWithRef,
-		RefIdx:      refHelper,
-		MaskBits:    maskBits,
-		Skipped:     skipped,
-		Queries:     d.Queries() - startQueries,
-		Calibration: cal,
+		CoopIdx:     det.CoopIdx,
+		XorWithRef:  det.XorWithRef,
+		RefIdx:      det.RefIdx,
+		MaskBits:    det.MaskBits,
+		Skipped:     det.Skipped,
+		Queries:     rep.Queries,
+		Calibration: det.Calibration,
 	}, nil
-}
-
-// testThroughSecondRequester recovers the first requester's own relation
-// by forcing a different cooperating pair into cooperation and
-// designating the first requester as its helper.
-func testThroughSecondRequester(
-	d *device.TempCoDevice,
-	original tempco.Helper,
-	dist Distinguisher,
-	cfg TempCoConfig,
-	install func(req, x int, inject []int) error,
-	injectionPool func(blk int, avoid map[int]bool) []int,
-	xorWithRef map[int]bool,
-	coop []int,
-	inInterval, protected map[int]bool,
-	requester, refHelper, blockLen int,
-) (bool, bool) {
-	for _, second := range coop {
-		if second == requester || second == refHelper || inInterval[second] || protected[second] {
-			continue
-		}
-		ref2 := original.Pairs[second].HelpIdx
-		rel2, known := xorWithRef[ref2]
-		if !known || ref2 == requester || inInterval[ref2] {
-			continue
-		}
-		blk2 := second / blockLen
-		pool := injectionPool(blk2, map[int]bool{second: true, ref2: true, requester: true, refHelper: true})
-		if len(pool) < cfg.InjectErrors {
-			continue
-		}
-		inj := pool[:cfg.InjectErrors]
-		armSub := func() bool {
-			if err := install(second, requester, inj); err != nil {
-				return true
-			}
-			return !d.App()
-		}
-		armRef := func() bool {
-			if err := install(second, ref2, inj); err != nil {
-				return true
-			}
-			return !d.App()
-		}
-		best, _ := dist.Best([]Arm{armSub, armRef})
-		if best < 0 {
-			// Degenerate arm set: leave the requester's relation unknown.
-			return false, false
-		}
-		// best!=0 => r_requester != r_ref2; translate into the
-		// refHelper frame via rel2 = r_ref2 XOR r_refHelper.
-		return (best != 0) != rel2, true
-	}
-	return false, false
 }

@@ -14,6 +14,8 @@
 package device
 
 import (
+	"sync/atomic"
+
 	"repro/internal/bitvec"
 	"repro/internal/silicon"
 )
@@ -35,13 +37,19 @@ type Device interface {
 	SetEnvironment(env silicon.Environment)
 }
 
-// base carries the bookkeeping shared by every concrete device.
+// base carries the bookkeeping shared by every concrete device. The
+// query counter is atomic so that readers (progress displays, batched
+// oracle backends summing costs across forks) never race with an App
+// call in flight on another goroutine.
 type base struct {
 	env     silicon.Environment
-	queries int
+	queries atomic.Int64
 }
 
-func (b *base) Queries() int { return b.queries }
+func (b *base) Queries() int { return int(b.queries.Load()) }
+
+// addQuery records one oracle query.
+func (b *base) addQuery() { b.queries.Add(1) }
 
 func (b *base) Environment() silicon.Environment { return b.env }
 

@@ -192,13 +192,30 @@ func (d *DistillerPairDevice) reconstruct() (bitvec.Vector, error) {
 
 // App reconstructs and compares against the bound key.
 func (d *DistillerPairDevice) App() bool {
-	d.queries++
+	d.addQuery()
 	got, err := d.reconstruct()
 	return err == nil && d.bound.Len() > 0 && keysEqual(got, d.bound)
 }
 
 // TrueKey returns the original enrolled key (evaluation-only).
 func (d *DistillerPairDevice) TrueKey() bitvec.Vector { return d.enrolled.Clone() }
+
+// Fork returns an independent oracle clone with its own helper NVM copy,
+// key binding, query counter, and noise stream seeded by seed (see
+// SeqPairDevice.Fork).
+func (d *DistillerPairDevice) Fork(seed uint64) *DistillerPairDevice {
+	f := &DistillerPairDevice{
+		arr:      d.arr,
+		params:   d.params,
+		basePair: append([]pairing.Pair(nil), d.basePair...),
+		nvm:      d.ReadHelper(),
+		enrolled: d.enrolled.Clone(),
+		bound:    d.bound.Clone(),
+		src:      rng.New(seed),
+	}
+	f.env = d.env
+	return f
+}
 
 // Params exposes the public device specification.
 func (d *DistillerPairDevice) Params() DistillerPairParams { return d.params }

@@ -73,7 +73,7 @@ func (d *FuzzyDevice) WriteHelper(h fuzzy.Helper) error {
 
 // App reconstructs and compares against the enrolled key.
 func (d *FuzzyDevice) App() bool {
-	d.queries++
+	d.addQuery()
 	f := d.arr.MeasureAll(d.env, d.src)
 	resp := pairing.Responses(f, d.pairs)
 	got, err := fuzzy.Reconstruct(resp, d.params.Extractor, d.nvm)

@@ -97,7 +97,7 @@ func (d *GroupBasedDevice) BindKey(key bitvec.Vector) { d.bound = key.Clone() }
 // App reconstructs with the current helper and compares against the
 // currently bound application key.
 func (d *GroupBasedDevice) App() bool {
-	d.queries++
+	d.addQuery()
 	got, err := groupbased.Reconstruct(d.arr, d.params, d.nvm, d.env, d.src)
 	return err == nil && d.bound.Len() > 0 && keysEqual(got, d.bound)
 }
@@ -105,13 +105,29 @@ func (d *GroupBasedDevice) App() bool {
 // AppOriginal is the honest observable: reconstruction must match the
 // original enrollment key.
 func (d *GroupBasedDevice) AppOriginal() bool {
-	d.queries++
+	d.addQuery()
 	got, err := groupbased.Reconstruct(d.arr, d.params, d.nvm, d.env, d.src)
 	return err == nil && keysEqual(got, d.enrolled)
 }
 
 // TrueKey returns the original enrolled key (evaluation-only).
 func (d *GroupBasedDevice) TrueKey() bitvec.Vector { return d.enrolled.Clone() }
+
+// Fork returns an independent oracle clone with its own helper NVM copy,
+// key binding, query counter, and noise stream seeded by seed (see
+// SeqPairDevice.Fork).
+func (d *GroupBasedDevice) Fork(seed uint64) *GroupBasedDevice {
+	f := &GroupBasedDevice{
+		arr:      d.arr,
+		params:   d.params,
+		nvm:      d.ReadHelper(),
+		enrolled: d.enrolled.Clone(),
+		bound:    d.bound.Clone(),
+		src:      rng.New(seed),
+	}
+	f.env = d.env
+	return f
+}
 
 // Params exposes the public device specification.
 func (d *GroupBasedDevice) Params() groupbased.Params { return d.params }

@@ -99,7 +99,7 @@ func (d *SeqPairDevice) Code() ecc.Code { return d.params.Code }
 // App reconstructs the key from current NVM and fresh measurements and
 // compares it with the enrolled reference.
 func (d *SeqPairDevice) App() bool {
-	d.queries++
+	d.addQuery()
 	f := d.arr.MeasureAll(d.env, d.src)
 	resp := pairing.Responses(f, d.nvm.Pairs.Pairs)
 	if resp.Len() != d.key.Len() {
@@ -120,6 +120,23 @@ func (d *SeqPairDevice) App() bool {
 // TrueKey returns the enrolled key. Evaluation-only: attacks never call
 // it; benches use it to score recovery.
 func (d *SeqPairDevice) TrueKey() bitvec.Vector { return d.key.Clone() }
+
+// Fork returns an independent oracle clone: same silicon and enrollment,
+// its own helper NVM copy and query counter, and measurement noise drawn
+// from a fresh stream seeded by seed. Batched attack backends fork one
+// clone per hypothesis arm so concurrent queries neither race nor
+// entangle their noise streams.
+func (d *SeqPairDevice) Fork(seed uint64) *SeqPairDevice {
+	f := &SeqPairDevice{
+		arr:    d.arr,
+		params: d.params,
+		nvm:    d.ReadHelper(),
+		key:    d.key.Clone(),
+		src:    rng.New(seed),
+	}
+	f.env = d.env
+	return f
+}
 
 func padToBlocks(resp bitvec.Vector, code ecc.Code) (bitvec.Vector, int) {
 	n := code.N()

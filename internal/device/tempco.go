@@ -67,13 +67,27 @@ func (d *TempCoDevice) WriteHelper(h tempco.Helper) error {
 // App reconstructs at the current ambient temperature and compares with
 // the enrolled key.
 func (d *TempCoDevice) App() bool {
-	d.queries++
+	d.addQuery()
 	got, err := tempco.Reconstruct(d.arr, d.params, d.nvm, d.env, d.src)
 	return err == nil && keysEqual(got, d.key)
 }
 
 // TrueKey returns the enrolled key (evaluation-only).
 func (d *TempCoDevice) TrueKey() bitvec.Vector { return d.key.Clone() }
+
+// Fork returns an independent oracle clone with its own helper NVM copy,
+// query counter, and noise stream seeded by seed (see SeqPairDevice.Fork).
+func (d *TempCoDevice) Fork(seed uint64) *TempCoDevice {
+	f := &TempCoDevice{
+		arr:    d.arr,
+		params: d.params,
+		nvm:    d.ReadHelper(),
+		key:    d.key.Clone(),
+		src:    rng.New(seed),
+	}
+	f.env = d.env
+	return f
+}
 
 // Params exposes the public device specification.
 func (d *TempCoDevice) Params() tempco.Params { return d.params }

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/attack"
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/device"
@@ -251,8 +252,9 @@ type GroupAttackResult struct {
 }
 
 // RunGroupBasedAttack enrolls a group-based device on the paper's 4x10
-// Fig. 6 array and runs the full key recovery.
-func RunGroupBasedAttack(seed uint64) (GroupAttackResult, error) {
+// Fig. 6 array and runs the full key recovery through the attack
+// registry.
+func RunGroupBasedAttack(ctx context.Context, seed uint64) (GroupAttackResult, error) {
 	d, err := device.EnrollGroupBased(groupbased.Params{
 		Rows: 4, Cols: 10,
 		Degree:       2,
@@ -265,16 +267,18 @@ func RunGroupBasedAttack(seed uint64) (GroupAttackResult, error) {
 		return GroupAttackResult{}, err
 	}
 	truth := d.TrueKey()
-	res, err := core.AttackGroupBased(d, core.GroupBasedConfig{Dist: core.DefaultDistinguisher()})
+	rep, err := attack.Run(ctx, "groupbased", attack.NewGroupBasedTarget(d),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		return GroupAttackResult{}, err
 	}
+	det := rep.Details.(attack.GroupBasedDetails)
 	return GroupAttackResult{
 		KeyBits:   truth.Len(),
-		Recovered: res.Key.Equal(truth),
-		Resolved:  res.Resolved,
-		Groups:    len(res.Orders),
-		Queries:   res.Queries,
+		Recovered: rep.Key.Equal(truth),
+		Resolved:  det.Resolved,
+		Groups:    len(det.Orders),
+		Queries:   rep.Queries,
 	}, nil
 }
 
@@ -289,8 +293,8 @@ type MaskingAttackSummary struct {
 }
 
 // RunMaskingAttack enrolls a distiller + 1-out-of-5 masking device on the
-// 4x10 array and runs the Fig. 6b recovery.
-func RunMaskingAttack(seed uint64) (MaskingAttackSummary, error) {
+// 4x10 array and runs the Fig. 6b recovery through the attack registry.
+func RunMaskingAttack(ctx context.Context, seed uint64) (MaskingAttackSummary, error) {
 	d, err := device.EnrollDistillerPair(device.DistillerPairParams{
 		Rows: 4, Cols: 10,
 		Degree:     2,
@@ -303,15 +307,17 @@ func RunMaskingAttack(seed uint64) (MaskingAttackSummary, error) {
 		return MaskingAttackSummary{}, err
 	}
 	truth := d.TrueKey()
-	res, err := core.AttackDistillerMasking(d, core.DistillerConfig{Dist: core.DefaultDistinguisher()})
+	rep, err := attack.Run(ctx, "masking", attack.NewDistillerTarget(d),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		return MaskingAttackSummary{}, err
 	}
+	det := rep.Details.(attack.MaskingDetails)
 	return MaskingAttackSummary{
 		KeyBits:   truth.Len(),
-		BaseBits:  len(res.BaseBits),
-		Recovered: res.Key.Equal(truth),
-		Queries:   res.Queries,
+		BaseBits:  len(det.BaseBits),
+		Recovered: rep.Key.Equal(truth),
+		Queries:   rep.Queries,
 	}, nil
 }
 
@@ -327,8 +333,8 @@ type ChainAttackSummary struct {
 
 // RunChainAttack enrolls a distiller + overlapping chain device on the
 // 4x10 array and runs the Fig. 6c recovery (2^4 hypotheses at column
-// boundaries).
-func RunChainAttack(seed uint64) (ChainAttackSummary, error) {
+// boundaries) through the attack registry.
+func RunChainAttack(ctx context.Context, seed uint64) (ChainAttackSummary, error) {
 	d, err := device.EnrollDistillerPair(device.DistillerPairParams{
 		Rows: 4, Cols: 10,
 		Degree:     2,
@@ -340,15 +346,17 @@ func RunChainAttack(seed uint64) (ChainAttackSummary, error) {
 		return ChainAttackSummary{}, err
 	}
 	truth := d.TrueKey()
-	res, err := core.AttackDistillerChain(d, core.DistillerConfig{Dist: core.DefaultDistinguisher()})
+	rep, err := attack.Run(ctx, "chain", attack.NewDistillerTarget(d),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		return ChainAttackSummary{}, err
 	}
+	det := rep.Details.(attack.ChainDetails)
 	return ChainAttackSummary{
 		KeyBits:       truth.Len(),
-		MaxHypotheses: res.MaxHypotheses,
-		Recovered:     res.Key.Equal(truth),
-		Queries:       res.Queries,
+		MaxHypotheses: det.MaxHypotheses,
+		Recovered:     rep.Key.Equal(truth),
+		Queries:       rep.Queries,
 	}, nil
 }
 
@@ -364,9 +372,9 @@ type SeqPairAttackSummary struct {
 }
 
 // RunSeqPairAttack enrolls a LISA device and runs the full §VI-A
-// recovery. expurgate selects the even-weight BCH subcode, which removes
-// the complement ambiguity.
-func RunSeqPairAttack(seed uint64, expurgate bool) (SeqPairAttackSummary, error) {
+// recovery through the attack registry. expurgate selects the
+// even-weight BCH subcode, which removes the complement ambiguity.
+func RunSeqPairAttack(ctx context.Context, seed uint64, expurgate bool) (SeqPairAttackSummary, error) {
 	d, err := device.EnrollSeqPair(device.SeqPairParams{
 		Rows: 8, Cols: 16,
 		ThresholdMHz: 0.8,
@@ -378,16 +386,17 @@ func RunSeqPairAttack(seed uint64, expurgate bool) (SeqPairAttackSummary, error)
 		return SeqPairAttackSummary{}, err
 	}
 	truth := d.TrueKey()
-	res, err := core.AttackSeqPair(d, core.SeqPairConfig{Dist: core.DefaultDistinguisher()})
+	rep, err := attack.Run(ctx, "seqpair", attack.NewSeqPairTarget(d),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		return SeqPairAttackSummary{}, err
 	}
 	return SeqPairAttackSummary{
 		KeyBits:        truth.Len(),
-		Recovered:      res.Key.Equal(truth),
-		UpToComplement: res.Key.Equal(truth) || res.Key.Equal(truth.Not()),
-		Ambiguous:      res.Ambiguous,
-		Queries:        res.Queries,
+		Recovered:      rep.Key.Equal(truth),
+		UpToComplement: rep.Key.Equal(truth) || rep.Key.Equal(truth.Not()),
+		Ambiguous:      rep.Ambiguous,
+		Queries:        rep.Queries,
 	}, nil
 }
 
@@ -405,8 +414,9 @@ type TempCoAttackSummary struct {
 }
 
 // RunTempCoAttack enrolls a temperature-aware cooperative device and runs
-// the §VI-B relation recovery, scoring it against silicon ground truth.
-func RunTempCoAttack(seed uint64) (TempCoAttackSummary, error) {
+// the §VI-B relation recovery through the attack registry, scoring it
+// against silicon ground truth.
+func RunTempCoAttack(ctx context.Context, seed uint64) (TempCoAttackSummary, error) {
 	p := tempco.Params{
 		Rows: 8, Cols: 16,
 		ThresholdMHz: 0.6,
@@ -419,10 +429,12 @@ func RunTempCoAttack(seed uint64) (TempCoAttackSummary, error) {
 	if err != nil {
 		return TempCoAttackSummary{}, err
 	}
-	res, err := core.AttackTempCo(d, core.TempCoConfig{Dist: core.DefaultDistinguisher()})
+	rep, err := attack.Run(ctx, "tempco", attack.NewTempCoTarget(d),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		return TempCoAttackSummary{}, err
 	}
+	res := rep.Details.(attack.TempCoDetails)
 	arr := d.Array()
 	h := d.ReadHelper()
 	envMin := arr.Config().NominalEnv()
@@ -433,7 +445,7 @@ func RunTempCoAttack(seed uint64) (TempCoAttackSummary, error) {
 	sum := TempCoAttackSummary{
 		CoopPairs: len(res.CoopIdx),
 		Skipped:   len(res.Skipped),
-		Queries:   res.Queries,
+		Queries:   rep.Queries,
 	}
 	for x, got := range res.XorWithRef {
 		sum.RelationsFound++
@@ -800,29 +812,29 @@ type seedAttackOutcome struct {
 // attackAllOnSeed runs every attack against devices manufactured from
 // one seed. It is a pure function of the seed and therefore safe to
 // evaluate from any worker in any order.
-func attackAllOnSeed(s uint64) (seedAttackOutcome, error) {
+func attackAllOnSeed(ctx context.Context, s uint64) (seedAttackOutcome, error) {
 	var o seedAttackOutcome
-	sp, err := RunSeqPairAttack(s, true)
+	sp, err := RunSeqPairAttack(ctx, s, true)
 	if err != nil {
 		return o, fmt.Errorf("seqpair seed %d: %w", s, err)
 	}
 	o.seqPair = sp.Recovered
-	gb, err := RunGroupBasedAttack(s)
+	gb, err := RunGroupBasedAttack(ctx, s)
 	if err != nil {
 		return o, fmt.Errorf("groupbased seed %d: %w", s, err)
 	}
 	o.groupBased = gb.Recovered
-	mk, err := RunMaskingAttack(s)
+	mk, err := RunMaskingAttack(ctx, s)
 	if err != nil {
 		return o, fmt.Errorf("masking seed %d: %w", s, err)
 	}
 	o.masking = mk.Recovered
-	ch, err := RunChainAttack(s)
+	ch, err := RunChainAttack(ctx, s)
 	if err != nil {
 		return o, fmt.Errorf("chain seed %d: %w", s, err)
 	}
 	o.chain = ch.Recovered
-	tc, err := RunTempCoAttack(s)
+	tc, err := RunTempCoAttack(ctx, s)
 	if err != nil {
 		return o, fmt.Errorf("tempco seed %d: %w", s, err)
 	}
@@ -844,8 +856,8 @@ func MeasureAttackSuccessWorkers(ctx context.Context, base uint64, seeds, worker
 	var r AttackSuccessRates
 	r.Seeds = seeds
 	outcomes := make([]seedAttackOutcome, seeds)
-	err := campaign.ForEach(ctx, seeds, workers, func(_ context.Context, i int) error {
-		o, err := attackAllOnSeed(base + uint64(i)*101)
+	err := campaign.ForEach(ctx, seeds, workers, func(taskCtx context.Context, i int) error {
+		o, err := attackAllOnSeed(taskCtx, base+uint64(i)*101)
 		if err != nil {
 			return err
 		}

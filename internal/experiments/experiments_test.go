@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
@@ -88,7 +89,7 @@ func TestFig5Separation(t *testing.T) {
 }
 
 func TestRunSeqPairAttackE8(t *testing.T) {
-	sum, err := RunSeqPairAttack(5, true)
+	sum, err := RunSeqPairAttack(context.Background(), 5, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestRunSeqPairAttackE8(t *testing.T) {
 }
 
 func TestRunTempCoAttackE9(t *testing.T) {
-	sum, err := RunTempCoAttack(7)
+	sum, err := RunTempCoAttack(context.Background(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestRunTempCoAttackE9(t *testing.T) {
 }
 
 func TestRunGroupBasedAttackE5(t *testing.T) {
-	sum, err := RunGroupBasedAttack(9)
+	sum, err := RunGroupBasedAttack(context.Background(), 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestRunGroupBasedAttackE5(t *testing.T) {
 }
 
 func TestRunMaskingAttackE6(t *testing.T) {
-	sum, err := RunMaskingAttack(11)
+	sum, err := RunMaskingAttack(context.Background(), 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestRunMaskingAttackE6(t *testing.T) {
 }
 
 func TestRunChainAttackE7(t *testing.T) {
-	sum, err := RunChainAttack(13)
+	sum, err := RunChainAttack(context.Background(), 13)
 	if err != nil {
 		t.Fatal(err)
 	}

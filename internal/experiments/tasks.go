@@ -83,8 +83,8 @@ func init() {
 	campaign.Register(campaign.Task{
 		Name: "groupbased-attack", Desc: "§VI-C group-based key recovery", Figure: "Fig. 6a",
 		Binary: []string{"recovered"},
-		Run: func(_ context.Context, seed uint64) (campaign.Metrics, error) {
-			r, err := RunGroupBasedAttack(seed)
+		Run: func(ctx context.Context, seed uint64) (campaign.Metrics, error) {
+			r, err := RunGroupBasedAttack(ctx, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -101,8 +101,8 @@ func init() {
 	campaign.Register(campaign.Task{
 		Name: "masking-attack", Desc: "§VI-D distiller + 1-out-of-5 masking key recovery", Figure: "Fig. 6b",
 		Binary: []string{"recovered"},
-		Run: func(_ context.Context, seed uint64) (campaign.Metrics, error) {
-			r, err := RunMaskingAttack(seed)
+		Run: func(ctx context.Context, seed uint64) (campaign.Metrics, error) {
+			r, err := RunMaskingAttack(ctx, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -118,8 +118,8 @@ func init() {
 	campaign.Register(campaign.Task{
 		Name: "chain-attack", Desc: "§VI-D distiller + overlapping chain key recovery", Figure: "Fig. 6c",
 		Binary: []string{"recovered"},
-		Run: func(_ context.Context, seed uint64) (campaign.Metrics, error) {
-			r, err := RunChainAttack(seed)
+		Run: func(ctx context.Context, seed uint64) (campaign.Metrics, error) {
+			r, err := RunChainAttack(ctx, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -135,8 +135,8 @@ func init() {
 	campaign.Register(campaign.Task{
 		Name: "seqpair-attack", Desc: "§VI-A sequential-pairing (LISA) key recovery, expurgated code", Figure: "§VI-A",
 		Binary: []string{"recovered", "up-to-complement", "ambiguous"},
-		Run: func(_ context.Context, seed uint64) (campaign.Metrics, error) {
-			r, err := RunSeqPairAttack(seed, true)
+		Run: func(ctx context.Context, seed uint64) (campaign.Metrics, error) {
+			r, err := RunSeqPairAttack(ctx, seed, true)
 			if err != nil {
 				return nil, err
 			}
@@ -152,8 +152,8 @@ func init() {
 
 	campaign.Register(campaign.Task{
 		Name: "tempco-attack", Desc: "§VI-B temperature-aware relation recovery", Figure: "§VI-B",
-		Run: func(_ context.Context, seed uint64) (campaign.Metrics, error) {
-			r, err := RunTempCoAttack(seed)
+		Run: func(ctx context.Context, seed uint64) (campaign.Metrics, error) {
+			r, err := RunTempCoAttack(ctx, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -259,8 +259,8 @@ func init() {
 			"seqpair-recovered", "groupbased-recovered",
 			"masking-recovered", "chain-recovered",
 		},
-		Run: func(_ context.Context, seed uint64) (campaign.Metrics, error) {
-			o, err := attackAllOnSeed(seed)
+		Run: func(ctx context.Context, seed uint64) (campaign.Metrics, error) {
+			o, err := attackAllOnSeed(ctx, seed)
 			if err != nil {
 				return nil, err
 			}

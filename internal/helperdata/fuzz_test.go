@@ -1,0 +1,92 @@
+package helperdata
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// withChecksum appends a valid trailing CRC to a hand-built body, so
+// fuzz seeds exercise the structural validation behind the checksum
+// gate (the paper's §VII-C point: unspecified parsing hides security
+// bugs, so every malformed shape must be rejected deliberately).
+func withChecksum(body []byte) []byte {
+	return binary.LittleEndian.AppendUint32(append([]byte(nil), body...), crc32.ChecksumIEEE(body))
+}
+
+// seedBody builds a header + sections body without checksum.
+func seedBody(sections int, mangle func([]byte) []byte) []byte {
+	body := append([]byte(nil), magic...)
+	body = append(body, version)
+	body = binary.LittleEndian.AppendUint16(body, uint16(sections))
+	for i := 0; i < sections; i++ {
+		name := []byte{byte('a' + i)}
+		body = append(body, byte(len(name)))
+		body = append(body, name...)
+		body = binary.LittleEndian.AppendUint32(body, 3)
+		body = append(body, 1, 2, 3)
+	}
+	if mangle != nil {
+		body = mangle(body)
+	}
+	return body
+}
+
+func FuzzUnmarshal(f *testing.F) {
+	// Valid images of varying shapes.
+	for _, n := range []int{0, 1, 3} {
+		f.Add(withChecksum(seedBody(n, nil)))
+	}
+	im := NewImage()
+	im.Set("ecc-offset", bytes.Repeat([]byte{0x5a}, 40))
+	im.Set("seq-pairs", []byte{1, 0, 2, 0, 3, 0})
+	if raw, err := im.Marshal(); err == nil {
+		f.Add(raw)
+	}
+	// Malformed shapes with VALID checksums, so parsing gets past the
+	// CRC gate: truncated section data, oversized declared length,
+	// trailing bytes, duplicate names, zero-length name, count lies.
+	f.Add(withChecksum(seedBody(1, func(b []byte) []byte { return b[:len(b)-2] })))
+	f.Add(withChecksum(seedBody(1, func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[len(b)-7:], 0xffffff)
+		return b
+	})))
+	f.Add(withChecksum(append(seedBody(1, nil), 9, 9, 9)))
+	f.Add(withChecksum(func() []byte {
+		b := seedBody(2, nil)
+		b[17] = b[8] // give section 2 the first section's name
+		return b
+	}()))
+	f.Add(withChecksum(seedBody(1, func(b []byte) []byte {
+		b[7] = 0 // zero-length section name
+		return b
+	})))
+	f.Add(withChecksum(seedBody(0, func(b []byte) []byte {
+		binary.LittleEndian.PutUint16(b[5:], 40) // claims 40 sections, has 0
+		return b
+	})))
+	// Corrupt checksum and short inputs.
+	f.Add(seedBody(1, nil))
+	f.Add([]byte("ROPF"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		im, err := Unmarshal(raw)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		// Accepted inputs must survive a canonical round trip.
+		out, err := im.Marshal()
+		if err != nil {
+			t.Fatalf("accepted image fails to marshal: %v", err)
+		}
+		im2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		if !im.Equal(im2) {
+			t.Fatal("round trip changed the image")
+		}
+	})
+}
