@@ -5,13 +5,22 @@
 // Usage:
 //
 //	puf-bench [-seed N] [-experiment all|E1..E12|A1|A2|A4|R1]
+//	puf-bench -json [-json-out BENCH_attacks.json]
+//
+// With -json the tool instead benchmarks the five end-to-end attacks
+// (the oracle-query hot path) via testing.Benchmark and writes a
+// machine-readable perf artifact — benchmark name → ns/op, allocs/op,
+// B/op and oracle-queries — so the repository accumulates a perf
+// trajectory across PRs instead of anecdotes.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"testing"
 
 	"repro/internal/experiments"
 )
@@ -19,7 +28,17 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "master seed for all experiments")
 	which := flag.String("experiment", "all", "experiment id (E1..E12, A1, A2, A4, R1) or 'all'")
+	jsonMode := flag.Bool("json", false, "benchmark the attack hot paths and write a JSON perf artifact")
+	jsonOut := flag.String("json-out", "BENCH_attacks.json", "output path of the -json artifact")
 	flag.Parse()
+
+	if *jsonMode {
+		if err := runJSONBench(*seed, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	runners := []struct {
 		id  string
@@ -245,5 +264,105 @@ func runR1(seed uint64) error {
 	fmt.Printf("  §VI-D distiller+masking  : %.2f\n", r.Masking)
 	fmt.Printf("  §VI-D distiller+chain    : %.2f\n", r.Chain)
 	fmt.Printf("  §VI-B relation accuracy  : %.2f\n", r.TempCoRel)
+	return nil
+}
+
+// BenchRecord is one entry of the BENCH_attacks.json artifact.
+type BenchRecord struct {
+	NsPerOp       int64   `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	OracleQueries float64 `json:"oracle_queries"`
+	Iterations    int     `json:"iterations"`
+}
+
+// runJSONBench measures the five end-to-end attacks with testing.Benchmark
+// and writes the artifact. Each closure reports the oracle-query count of
+// its last run as a custom metric, mirroring bench_test.go.
+func runJSONBench(seed uint64, out string) error {
+	ctx := context.Background()
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"AttackSeqPair", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunSeqPairAttack(ctx, seed+uint64(i)*3+5, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(r.Queries), "oracle-queries")
+			}
+		}},
+		{"AttackTempCo", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunTempCoAttack(ctx, seed+uint64(i)*3+7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(r.Queries), "oracle-queries")
+			}
+		}},
+		{"AttackGroupBased", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunGroupBasedAttack(ctx, seed+uint64(i)*3+9)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(r.Queries), "oracle-queries")
+			}
+		}},
+		{"AttackMasking", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunMaskingAttack(ctx, seed+uint64(i)*3+11)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(r.Queries), "oracle-queries")
+			}
+		}},
+		{"AttackChain", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunChainAttack(ctx, seed+uint64(i)*3+13)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(r.Queries), "oracle-queries")
+			}
+		}},
+	}
+	artifact := make(map[string]BenchRecord, len(benches))
+	for _, bench := range benches {
+		res := testing.Benchmark(bench.fn)
+		if res.N == 0 {
+			// testing.Benchmark swallows b.Fatal; a zero-iteration
+			// result means the attack under measurement failed.
+			return fmt.Errorf("%s failed to complete a single iteration", bench.name)
+		}
+		rec := BenchRecord{
+			NsPerOp:       res.NsPerOp(),
+			AllocsPerOp:   res.AllocsPerOp(),
+			BytesPerOp:    res.AllocedBytesPerOp(),
+			OracleQueries: res.Extra["oracle-queries"],
+			Iterations:    res.N,
+		}
+		artifact[bench.name] = rec
+		fmt.Printf("%-18s %12d ns/op %10d allocs/op %10d B/op %8.0f oracle-queries\n",
+			bench.name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp, rec.OracleQueries)
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
 	return nil
 }

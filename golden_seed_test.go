@@ -1,0 +1,118 @@
+package repro
+
+// Seed-behavior goldens for the allocation-free query path. Every value
+// below was captured from the repository BEFORE the scratch-buffer
+// rebuild of the reconstruction hot path (silicon.MeasureInto/
+// MeasureSubset, ecc decode-into, device scratch state, adapter write
+// caches). The optimized paths must consume the deterministic RNG
+// streams identically — sparse measurement draws-and-discards noise for
+// skipped oscillators — so keys, recovery outcomes, and above all the
+// SPRT-driven oracle-query counts (sensitive to every single App()
+// outcome) must reproduce bit-for-bit. A drift in any number here means
+// the optimization changed observable behavior, not just speed.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestGoldenSeqPairAttackTranscripts(t *testing.T) {
+	want := []struct {
+		seed      uint64
+		queries   int
+		recovered bool
+		keyBits   int
+	}{
+		{5, 216, true, 64},
+		{8, 232, true, 64},
+		{11, 230, true, 64},
+	}
+	for _, w := range want {
+		r, err := experiments.RunSeqPairAttack(context.Background(), w.seed, true)
+		if err != nil {
+			t.Fatalf("seed %d: %v", w.seed, err)
+		}
+		if r.Queries != w.queries || r.Recovered != w.recovered || r.KeyBits != w.keyBits {
+			t.Errorf("seed %d: got (queries=%d recovered=%v bits=%d), want (%d %v %d)",
+				w.seed, r.Queries, r.Recovered, r.KeyBits, w.queries, w.recovered, w.keyBits)
+		}
+	}
+}
+
+func TestGoldenGroupBasedAttackTranscripts(t *testing.T) {
+	want := []struct {
+		seed      uint64
+		queries   int
+		recovered bool
+		keyBits   int
+	}{
+		{9, 236, true, 56},
+		{12, 226, true, 57},
+		{15, 242, true, 55},
+	}
+	for _, w := range want {
+		r, err := experiments.RunGroupBasedAttack(context.Background(), w.seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", w.seed, err)
+		}
+		if r.Queries != w.queries || r.Recovered != w.recovered || r.KeyBits != w.keyBits {
+			t.Errorf("seed %d: got (queries=%d recovered=%v bits=%d), want (%d %v %d)",
+				w.seed, r.Queries, r.Recovered, r.KeyBits, w.queries, w.recovered, w.keyBits)
+		}
+	}
+}
+
+func TestGoldenMaskingAndChainAttackTranscripts(t *testing.T) {
+	masking := []struct {
+		seed    uint64
+		queries int
+	}{{11, 92}, {14, 58}, {17, 62}}
+	for _, w := range masking {
+		r, err := experiments.RunMaskingAttack(context.Background(), w.seed)
+		if err != nil {
+			t.Fatalf("masking seed %d: %v", w.seed, err)
+		}
+		if r.Queries != w.queries || !r.Recovered {
+			t.Errorf("masking seed %d: got (queries=%d recovered=%v), want (%d true)",
+				w.seed, r.Queries, r.Recovered, w.queries)
+		}
+	}
+	chain := []struct {
+		seed    uint64
+		queries int
+	}{{13, 120}, {16, 162}, {19, 146}}
+	for _, w := range chain {
+		r, err := experiments.RunChainAttack(context.Background(), w.seed)
+		if err != nil {
+			t.Fatalf("chain seed %d: %v", w.seed, err)
+		}
+		if r.Queries != w.queries || !r.Recovered {
+			t.Errorf("chain seed %d: got (queries=%d recovered=%v), want (%d true)",
+				w.seed, r.Queries, r.Recovered, w.queries)
+		}
+	}
+}
+
+func TestGoldenTempCoAttackTranscripts(t *testing.T) {
+	want := []struct {
+		seed              uint64
+		queries           int
+		relFound, relOkay int
+	}{
+		{7, 88, 12, 12},
+		{10, 72, 9, 9},
+		{13, 86, 13, 13},
+	}
+	for _, w := range want {
+		r, err := experiments.RunTempCoAttack(context.Background(), w.seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", w.seed, err)
+		}
+		if r.Queries != w.queries || r.RelationsFound != w.relFound || r.RelationsRight != w.relOkay {
+			t.Errorf("seed %d: got (queries=%d found=%d right=%d), want (%d %d %d)",
+				w.seed, r.Queries, r.RelationsFound, r.RelationsRight, w.queries, w.relFound, w.relOkay)
+		}
+	}
+}

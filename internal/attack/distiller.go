@@ -166,7 +166,9 @@ func decideMaskedPairBit(ctx context.Context, t Target, spec Spec, origPoly dist
 		predicted[g] = pval(pr.A) < pval(pr.B)
 	}
 
-	poly := clonePoly(origPoly).Add(pattern)
+	// Add already returns a fresh superposition; cloning its input first
+	// would only double the copy.
+	poly := origPoly.Add(pattern)
 	mask := pairing.MaskingHelper{K: k, Selected: selected}
 
 	makeArm := func(hypBit bool) (Hypothesis, error) {
@@ -323,7 +325,9 @@ func (a chainAttack) Run(ctx context.Context, t Target, opts Options) (Report, e
 			maxHyp = h
 		}
 
-		poly := clonePoly(origPoly).Add(pattern)
+		// Add already returns a fresh superposition; cloning its input first
+		// would only double the copy.
+		poly := origPoly.Add(pattern)
 		arms := make([]Hypothesis, 0, 1<<len(unknownIdx))
 		for hyp := 0; hyp < 1<<len(unknownIdx); hyp++ {
 			stream := bitvec.New(len(base))
@@ -445,8 +449,4 @@ func valleyForPair(pos func(int) (int, int), tp pairing.Pair, opts Options) dist
 	// Diagonal pairs do not occur on neighbor chains; fall back to the
 	// perpendicular plane (levels tie along the perpendicular axis).
 	return distiller.PerpendicularPlane(xa, ya, xb, yb, opts.PatternAmpMHz)
-}
-
-func clonePoly(p distiller.Poly2D) distiller.Poly2D {
-	return distiller.Poly2D{P: p.P, Beta: append([]float64(nil), p.Beta...)}
 }

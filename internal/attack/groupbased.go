@@ -187,8 +187,9 @@ func decidePairOrder(ctx context.Context, t Target, spec Spec, original groupbas
 	if err != nil {
 		return false, err
 	}
-	poly := distiller.Poly2D{P: original.Poly.P, Beta: append([]float64(nil), original.Poly.Beta...)}
-	poly = poly.Add(pattern)
+	// Add returns a fresh superposition, so the original enrollment
+	// polynomial needs no defensive copy per hypothesis pair.
+	poly := original.Poly.Add(pattern)
 
 	// Build the predicted Kendall stream. Group 0 is the target pair,
 	// its bit is the hypothesis; groups follow in id order, one bit per
@@ -296,19 +297,17 @@ func designPartition(n, a, b int, levels []int) (groups [][]int, predicted map[i
 	groups = [][]int{{a, b}}
 	predicted = map[int]bool{}
 
-	// Bucket the remaining oscillators by level.
-	byLevel := map[int][]int{}
+	// Bucket the remaining oscillators by level: one stable sort over
+	// (level, ascending index) yields the same per-level lists as a
+	// map of appends, without the per-call map churn of this inner-loop
+	// helper (one call per recovered key bit decision).
+	ros := make([]int, 0, n-2)
 	for i := 0; i < n; i++ {
-		if i == a || i == b {
-			continue
+		if i != a && i != b {
+			ros = append(ros, i)
 		}
-		byLevel[levels[i]] = append(byLevel[levels[i]], i)
 	}
-	keys := make([]int, 0, len(byLevel))
-	for k := range byLevel {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
+	sort.SliceStable(ros, func(x, y int) bool { return levels[ros[x]] < levels[ros[y]] })
 
 	// Repeatedly pair one member from the two currently largest level
 	// classes; this admits a perfect rainbow matching whenever no class
@@ -318,9 +317,15 @@ func designPartition(n, a, b int, levels []int) (groups [][]int, predicted map[i
 		level int
 		ros   []int
 	}
-	classes := make([]*class, 0, len(keys))
-	for _, k := range keys {
-		classes = append(classes, &class{level: k, ros: byLevel[k]})
+	classes := make([]*class, 0, 8)
+	for at := 0; at < len(ros); {
+		lvl := levels[ros[at]]
+		end := at
+		for end < len(ros) && levels[ros[end]] == lvl {
+			end++
+		}
+		classes = append(classes, &class{level: lvl, ros: ros[at:end:end]})
+		at = end
 	}
 	largestTwo := func() (int, int) {
 		i1, i2 := -1, -1

@@ -18,9 +18,11 @@ import (
 // an adapter parses — the paper's §VII-C demand for a precise storage
 // format applies to the attacker's tooling too.
 
-// section reads one named section or fails loudly.
+// section reads one named section or fails loudly. The read is zero-copy
+// (SectionRO): every consumer below parses the bytes into typed helper
+// structs without retaining the slice.
 func section(im *helperdata.Image, name string) ([]byte, error) {
-	data, ok := im.Section(name)
+	data, ok := im.SectionRO(name)
 	if !ok {
 		return nil, fmt.Errorf("attack: image lacks section %q (have %v)", name, im.Names())
 	}
@@ -156,7 +158,7 @@ func DistillerFromImage(im *helperdata.Image) (distiller.Poly2D, *pairing.Maskin
 		return distiller.Poly2D{}, nil, bitvec.Vector{}, err
 	}
 	var mask *pairing.MaskingHelper
-	if raw, ok := im.Section(helperdata.SectionMasking); ok {
+	if raw, ok := im.SectionRO(helperdata.SectionMasking); ok {
 		m, err := pairing.UnmarshalMasking(raw)
 		if err != nil {
 			return distiller.Poly2D{}, nil, bitvec.Vector{}, err

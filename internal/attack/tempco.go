@@ -178,17 +178,19 @@ func (a tempCoAttack) Run(ctx context.Context, t Target, opts Options) (Report, 
 
 	// install returns the hypothesis writing a helper with the requester
 	// forced into cooperation via helping pair x plus the listed
-	// injections.
+	// injections. The image is built once per arm, outside the closure,
+	// so re-installs across an arm's query run hit the adapters'
+	// identical-image write cache.
 	install := func(req, x int, inject []int) Hypothesis {
+		h := tempco.Helper{Pairs: append([]tempco.PairInfo(nil), original.Pairs...), Offset: original.Offset}
+		h.Pairs[req].Tl = ambient - 1
+		h.Pairs[req].Th = ambient + 1
+		h.Pairs[req].HelpIdx = x
+		for _, k := range inject {
+			applyInjection(&h, k)
+		}
+		im, err := TempCoImage(h)
 		return func(t Target) error {
-			h := tempco.Helper{Pairs: append([]tempco.PairInfo(nil), original.Pairs...), Offset: original.Offset}
-			h.Pairs[req].Tl = ambient - 1
-			h.Pairs[req].Th = ambient + 1
-			h.Pairs[req].HelpIdx = x
-			for _, k := range inject {
-				applyInjection(&h, k)
-			}
-			im, err := TempCoImage(h)
 			if err != nil {
 				return err
 			}

@@ -9,6 +9,7 @@ package bitvec
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -110,6 +111,38 @@ func (v Vector) Clone() Vector {
 	w := Vector{n: v.n, words: make([]uint64, len(v.words))}
 	copy(w.words, v.words)
 	return w
+}
+
+// Zero clears every bit in place.
+func (v Vector) Zero() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// SetAll sets every bit in place; the in-buffer counterpart of Ones.
+func (v Vector) SetAll() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.maskTail()
+}
+
+// CopyInto copies v into dst, which must have the same length. The
+// allocation-free counterpart of Clone for reused scratch buffers.
+func (v Vector) CopyInto(dst Vector) {
+	v.sameLen(dst)
+	copy(dst.words, v.words)
+}
+
+// XorInto writes v XOR u into dst word-by-word. All three lengths must
+// match; dst may alias v or u.
+func (v Vector) XorInto(u, dst Vector) {
+	v.sameLen(u)
+	v.sameLen(dst)
+	for i := range dst.words {
+		dst.words[i] = v.words[i] ^ u.words[i]
+	}
 }
 
 // Xor returns v XOR u. The lengths must match.
@@ -222,27 +255,64 @@ func (v Vector) Slice(from, to int) Vector {
 		panic(fmt.Sprintf("bitvec: invalid slice [%d,%d) of length %d", from, to, v.n))
 	}
 	w := New(to - from)
-	for i := from; i < to; i++ {
-		if v.Get(i) {
-			w.Set(i-from, true)
-		}
-	}
+	v.SliceInto(from, to, w)
 	return w
+}
+
+// SliceInto extracts bits [from, to) of v into dst, whose length must be
+// to-from. The extraction shifts whole words, not individual bits; it is
+// the scratch-buffer primitive behind Slice and the block codec's
+// per-block reads.
+func (v Vector) SliceInto(from, to int, dst Vector) {
+	if from < 0 || to > v.n || from > to {
+		panic(fmt.Sprintf("bitvec: invalid slice [%d,%d) of length %d", from, to, v.n))
+	}
+	if dst.n != to-from {
+		panic(fmt.Sprintf("bitvec: slice buffer length %d, want %d", dst.n, to-from))
+	}
+	w, s := from>>6, uint(from)&63
+	for j := range dst.words {
+		word := v.words[w+j] >> s
+		if s != 0 && w+j+1 < len(v.words) {
+			word |= v.words[w+j+1] << (64 - s)
+		}
+		dst.words[j] = word
+	}
+	dst.maskTail()
+}
+
+// PutAt overwrites bits [at, at+u.n) of v with u, blending whole words
+// of u into v with two shifts per word. The word-level inverse of
+// SliceInto; Concat and the block codec's per-block writes build on it.
+func (v Vector) PutAt(at int, u Vector) {
+	if at < 0 || at+u.n > v.n {
+		panic(fmt.Sprintf("bitvec: put [%d,%d) outside length %d", at, at+u.n, v.n))
+	}
+	w, s := at>>6, uint(at)&63
+	remaining := u.n
+	for j := 0; j < len(u.words); j++ {
+		word := u.words[j]
+		width := remaining
+		if width > 64 {
+			width = 64
+		}
+		mask := ^uint64(0)
+		if width < 64 {
+			mask = 1<<uint(width) - 1
+		}
+		v.words[w+j] = v.words[w+j]&^(mask<<s) | word<<s
+		if s != 0 && uint(width)+s > 64 {
+			v.words[w+j+1] = v.words[w+j+1]&^(mask>>(64-s)) | word>>(64-s)
+		}
+		remaining -= width
+	}
 }
 
 // Concat returns the concatenation of v followed by u.
 func (v Vector) Concat(u Vector) Vector {
 	w := New(v.n + u.n)
-	for i := 0; i < v.n; i++ {
-		if v.Get(i) {
-			w.Set(i, true)
-		}
-	}
-	for i := 0; i < u.n; i++ {
-		if u.Get(i) {
-			w.Set(v.n+i, true)
-		}
-	}
+	copy(w.words, v.words)
+	w.PutAt(v.n, u)
 	return w
 }
 
@@ -256,28 +326,38 @@ func (v Vector) Bits() []byte {
 }
 
 // Bytes packs the vector into bytes, bit i at byte i/8, LSB-first within
-// each byte. The final partial byte, if any, is zero-padded.
+// each byte. The final partial byte, if any, is zero-padded. Full words
+// are emitted eight bytes at a time.
 func (v Vector) Bytes() []byte {
 	out := make([]byte, (v.n+7)/8)
-	for i := 0; i < v.n; i++ {
-		if v.Get(i) {
-			out[i/8] |= 1 << (uint(i) & 7)
+	at := 0
+	for _, word := range v.words {
+		if len(out)-at >= 8 {
+			binary.LittleEndian.PutUint64(out[at:], word)
+			at += 8
+			continue
+		}
+		for ; at < len(out); at++ {
+			out[at] = byte(word)
+			word >>= 8
 		}
 	}
 	return out
 }
 
-// FromBytes is the inverse of Bytes for a vector of length n.
+// FromBytes is the inverse of Bytes for a vector of length n. Bytes are
+// packed into words eight at a time; stray bits beyond n in the final
+// byte are ignored, as are bytes beyond the (n+7)/8 needed.
 func FromBytes(data []byte, n int) (Vector, error) {
-	if need := (n + 7) / 8; len(data) < need {
+	need := (n + 7) / 8
+	if len(data) < need {
 		return Vector{}, fmt.Errorf("bitvec: need %d bytes for %d bits, have %d", need, n, len(data))
 	}
 	v := New(n)
-	for i := 0; i < n; i++ {
-		if data[i/8]>>(uint(i)&7)&1 == 1 {
-			v.Set(i, true)
-		}
+	for i := 0; i < need; i++ {
+		v.words[i>>3] |= uint64(data[i]) << ((uint(i) & 7) * 8)
 	}
+	v.maskTail()
 	return v, nil
 }
 
@@ -329,10 +409,54 @@ func UnmarshalVector(data []byte) (Vector, error) {
 // SupportIndices returns the positions of all set bits in increasing order.
 func (v Vector) SupportIndices() []int {
 	idx := make([]int, 0, v.Weight())
-	for i := 0; i < v.n; i++ {
-		if v.Get(i) {
-			idx = append(idx, i)
-		}
+	for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) {
+		idx = append(idx, i)
 	}
 	return idx
+}
+
+// NextSet returns the index of the first set bit at or after from, or -1
+// when no set bit remains. The allocation-free iteration primitive
+// (`for i := v.NextSet(0); i >= 0; i = v.NextSet(i+1)`) behind
+// SupportIndices and the ECC syndrome loops.
+func (v Vector) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= v.n {
+		return -1
+	}
+	j := from >> 6
+	word := v.words[j] >> (uint(from) & 63) << (uint(from) & 63)
+	for {
+		if word != 0 {
+			return j<<6 + bits.TrailingZeros64(word)
+		}
+		j++
+		if j >= len(v.words) {
+			return -1
+		}
+		word = v.words[j]
+	}
+}
+
+// HasPrefix reports whether the first p.Len() bits of v equal p. It is
+// the allocation-free equivalent of v.Slice(0, p.Len()).Equal(p).
+func (v Vector) HasPrefix(p Vector) bool {
+	if p.n > v.n {
+		return false
+	}
+	full := p.n >> 6
+	for i := 0; i < full; i++ {
+		if v.words[i] != p.words[i] {
+			return false
+		}
+	}
+	if rem := uint(p.n) & 63; rem != 0 {
+		mask := uint64(1)<<rem - 1
+		if (v.words[full]^p.words[full])&mask != 0 {
+			return false
+		}
+	}
+	return true
 }

@@ -244,3 +244,127 @@ func BenchmarkWeight1024(b *testing.B) {
 		_ = v.Weight()
 	}
 }
+
+// TestWordLevelOpsMatchBitLevel cross-checks the word-level kernels
+// (SliceInto, PutAt, Concat, Bytes/FromBytes, XorInto, CopyInto,
+// NextSet, HasPrefix) against naive per-bit references across lengths
+// straddling word boundaries.
+func TestWordLevelOpsMatchBitLevel(t *testing.T) {
+	lengths := []int{0, 1, 7, 63, 64, 65, 127, 128, 130, 200}
+	rnd := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 { rnd ^= rnd << 13; rnd ^= rnd >> 7; rnd ^= rnd << 17; return rnd }
+	randomVec := func(n int) Vector {
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if next()&1 == 1 {
+				v.Set(i, true)
+			}
+		}
+		return v
+	}
+	for _, n := range lengths {
+		v := randomVec(n)
+
+		// Bytes/FromBytes round trip.
+		back, err := FromBytes(v.Bytes(), n)
+		if err != nil || !back.Equal(v) {
+			t.Fatalf("n=%d: Bytes/FromBytes round trip failed (%v)", n, err)
+		}
+
+		// Slice against per-bit reference, and SliceInto equality.
+		for _, span := range [][2]int{{0, n}, {n / 3, 2 * n / 3}, {1, n}, {0, n / 2}} {
+			from, to := span[0], span[1]
+			if from > to || to > n {
+				continue
+			}
+			got := v.Slice(from, to)
+			ref := New(to - from)
+			for i := from; i < to; i++ {
+				ref.Set(i-from, v.Get(i))
+			}
+			if !got.Equal(ref) {
+				t.Fatalf("n=%d: Slice[%d,%d) mismatch", n, from, to)
+			}
+		}
+
+		// Concat against per-bit reference.
+		for _, m := range []int{0, 1, 33, 64, 70} {
+			u := randomVec(m)
+			got := v.Concat(u)
+			ref := New(n + m)
+			for i := 0; i < n; i++ {
+				ref.Set(i, v.Get(i))
+			}
+			for i := 0; i < m; i++ {
+				ref.Set(n+i, u.Get(i))
+			}
+			if !got.Equal(ref) {
+				t.Fatalf("n=%d m=%d: Concat mismatch", n, m)
+			}
+			// PutAt must overwrite dirty buffers completely.
+			dirty := Ones(n + m)
+			if n > 0 {
+				dirty.PutAt(0, v)
+				dirty.PutAt(n, u)
+				want := v.Concat(u)
+				for i := 0; i < n+m; i++ {
+					if dirty.Get(i) != want.Get(i) {
+						t.Fatalf("n=%d m=%d: PutAt left bit %d stale", n, m, i)
+					}
+				}
+			}
+		}
+
+		// XorInto/CopyInto with aliasing.
+		u := randomVec(n)
+		want := v.Xor(u)
+		dst := New(n)
+		v.XorInto(u, dst)
+		if !dst.Equal(want) {
+			t.Fatalf("n=%d: XorInto mismatch", n)
+		}
+		alias := v.Clone()
+		alias.XorInto(u, alias)
+		if !alias.Equal(want) {
+			t.Fatalf("n=%d: aliased XorInto mismatch", n)
+		}
+		cp := New(n)
+		v.CopyInto(cp)
+		if !cp.Equal(v) {
+			t.Fatalf("n=%d: CopyInto mismatch", n)
+		}
+
+		// NextSet enumerates exactly SupportIndices.
+		var idx []int
+		for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) {
+			idx = append(idx, i)
+		}
+		support := v.SupportIndices()
+		if len(idx) != len(support) {
+			t.Fatalf("n=%d: NextSet found %d bits, support %d", n, len(idx), len(support))
+		}
+		for i := range idx {
+			if idx[i] != support[i] {
+				t.Fatalf("n=%d: NextSet order mismatch at %d", n, i)
+			}
+		}
+
+		// HasPrefix against Slice+Equal.
+		for _, plen := range []int{0, 1, n / 2, n} {
+			if plen > n {
+				continue
+			}
+			p := v.Slice(0, plen)
+			if !v.HasPrefix(p) {
+				t.Fatalf("n=%d: HasPrefix rejected its own prefix of %d", n, plen)
+			}
+			if plen > 0 {
+				q := p.Clone()
+				q.Flip(plen - 1)
+				if v.HasPrefix(q) {
+					t.Fatalf("n=%d: HasPrefix accepted corrupted prefix", n)
+				}
+			}
+		}
+	}
+}

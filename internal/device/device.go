@@ -44,12 +44,25 @@ type Device interface {
 type base struct {
 	env     silicon.Environment
 	queries atomic.Int64
+	// nvmGen counts successful helper NVM writes. Adapters use it to
+	// detect that the NVM still holds exactly what they last wrote and
+	// skip re-parsing an identical image (see attack's write cache). It
+	// is maintained by the owning goroutine only.
+	nvmGen uint64
 }
 
 func (b *base) Queries() int { return int(b.queries.Load()) }
 
 // addQuery records one oracle query.
 func (b *base) addQuery() { b.queries.Add(1) }
+
+// bumpNVM records one helper NVM write.
+func (b *base) bumpNVM() { b.nvmGen++ }
+
+// NVMGeneration returns the number of helper NVM writes so far. Two
+// reads returning the same value bracket a span in which the NVM content
+// did not change.
+func (b *base) NVMGeneration() uint64 { return b.nvmGen }
 
 func (b *base) Environment() silicon.Environment { return b.env }
 

@@ -67,6 +67,56 @@ type DistillerPairDevice struct {
 	enrolled bitvec.Vector
 	bound    bitvec.Vector
 	src      *rng.Source
+	scratch  distillerScratch
+}
+
+// distillerScratch is the device's reusable reconstruction state:
+// the distiller surface evaluated on the grid, the resolved pair list,
+// and the measurement/codeword buffers. Per-device, not concurrency-safe
+// — Fork clones the device so each concurrent arm owns its own.
+type distillerScratch struct {
+	helperValid bool
+	freq        []float64
+	resid       []float64
+	grid        []float64
+	sel         []pairing.Pair
+	selErr      error
+	blocks      int
+	block       *ecc.Block
+	padded      bitvec.Vector
+	recovered   bitvec.Vector
+	ws          ecc.Workspace
+}
+
+// refreshScratch rebuilds the helper-derived caches from the current NVM.
+func (d *DistillerPairDevice) refreshScratch() {
+	sc := &d.scratch
+	n := d.arr.N()
+	if cap(sc.freq) < n {
+		sc.freq = make([]float64, n)
+	}
+	sc.freq = sc.freq[:n]
+	sc.grid = d.nvm.Poly.EvalGrid(d.params.Rows, d.params.Cols, sc.grid)
+	switch d.params.Mode {
+	case MaskedChain:
+		sc.sel, sc.selErr = d.nvm.Masking.SelectedPairs(d.basePair)
+	default:
+		sc.sel, sc.selErr = d.basePair, nil
+	}
+	cn := d.params.Code.N()
+	blocks := (len(sc.sel) + cn - 1) / cn
+	if blocks == 0 {
+		blocks = 1
+	}
+	if sc.block == nil || sc.blocks != blocks {
+		sc.block = ecc.NewBlock(d.params.Code, blocks)
+		sc.blocks = blocks
+	}
+	if padLen := blocks * cn; sc.padded.Len() != padLen {
+		sc.padded = bitvec.New(padLen)
+		sc.recovered = bitvec.New(padLen)
+	}
+	sc.helperValid = true
 }
 
 // EnrollDistillerPair manufactures and enrolls a device.
@@ -144,6 +194,11 @@ func (d *DistillerPairDevice) ReadHelper() DistillerPairHelperNVM {
 	}
 }
 
+// HelperView returns the helper NVM sharing the device's storage — the
+// read-only fast path for marshaling consumers. Callers must not mutate
+// it or retain it across a WriteHelper.
+func (d *DistillerPairDevice) HelperView() DistillerPairHelperNVM { return d.nvm }
+
 // WriteHelper overwrites the helper NVM after structural validation and
 // re-binds the application key as in GroupBasedDevice.
 func (d *DistillerPairDevice) WriteHelper(h DistillerPairHelperNVM) error {
@@ -160,41 +215,62 @@ func (d *DistillerPairDevice) WriteHelper(h DistillerPairHelperNVM) error {
 		Masking: pairing.MaskingHelper{K: h.Masking.K, Selected: append([]int(nil), h.Masking.Selected...)},
 		Offset:  h.Offset.Clone(),
 	}
-	if key, err := d.reconstruct(); err == nil {
-		d.bound = key
+	d.scratch.helperValid = false
+	d.bumpNVM()
+	d.ReprovisionKey()
+	return nil
+}
+
+// ReprovisionKey re-binds the application to whatever key the CURRENT
+// helper reconstructs, exactly as a helper write does (see
+// GroupBasedDevice.ReprovisionKey for the contract).
+func (d *DistillerPairDevice) ReprovisionKey() {
+	if n, err := d.reconstructScratch(); err == nil {
+		d.bound = d.scratch.recovered.Slice(0, n)
 	} else {
 		d.bound = bitvec.Vector{}
 	}
-	return nil
 }
 
 // BindKey binds the application to a predicted key.
 func (d *DistillerPairDevice) BindKey(key bitvec.Vector) { d.bound = key.Clone() }
 
-func (d *DistillerPairDevice) reconstruct() (bitvec.Vector, error) {
-	f := d.arr.MeasureAll(d.env, d.src)
-	resid := distiller.Distill(d.params.Rows, d.params.Cols, f, d.nvm.Poly)
-	resp, err := d.response(resid, d.nvm.Masking)
-	if err != nil {
-		return bitvec.Vector{}, err
+// reconstructScratch regenerates the key into the scratch buffers: on
+// success the first respLen bits of d.scratch.recovered hold the key.
+// Bit-identical — outcomes and noise-stream consumption — to the
+// allocating reconstruction it replaced.
+func (d *DistillerPairDevice) reconstructScratch() (respLen int, err error) {
+	sc := &d.scratch
+	if !sc.helperValid {
+		d.refreshScratch()
 	}
-	padded, blocks := padToBlocks(resp, d.params.Code)
-	if padded.Len() != d.nvm.Offset.Len() {
-		return bitvec.Vector{}, fmt.Errorf("device: offset/stream mismatch")
+	f := d.arr.MeasureInto(sc.freq, d.env, d.src)
+	sc.resid = distiller.DistillWithGrid(sc.resid, f, sc.grid)
+	if sc.selErr != nil {
+		return 0, sc.selErr
 	}
-	block := ecc.NewBlock(d.params.Code, blocks)
-	recovered, _, ok := ecc.Reproduce(block, ecc.Offset{W: d.nvm.Offset}, padded)
-	if !ok {
-		return bitvec.Vector{}, fmt.Errorf("device: ECC failure")
+	if sc.padded.Len() != d.nvm.Offset.Len() {
+		return 0, fmt.Errorf("device: offset/stream mismatch")
 	}
-	return recovered.Slice(0, resp.Len()), nil
+	sc.padded.Zero()
+	for i, p := range sc.sel {
+		if pairing.ResponseBit(sc.resid, p) {
+			sc.padded.Set(i, true)
+		}
+	}
+	if _, ok := ecc.ReproduceInto(sc.block, ecc.Offset{W: d.nvm.Offset}, sc.padded, &sc.ws, sc.recovered); !ok {
+		return 0, fmt.Errorf("device: ECC failure")
+	}
+	return len(sc.sel), nil
 }
 
-// App reconstructs and compares against the bound key.
+// App reconstructs and compares against the bound key, running in the
+// device's scratch buffers (see SeqPairDevice.App for the determinism
+// contract).
 func (d *DistillerPairDevice) App() bool {
 	d.addQuery()
-	got, err := d.reconstruct()
-	return err == nil && d.bound.Len() > 0 && keysEqual(got, d.bound)
+	n, err := d.reconstructScratch()
+	return err == nil && n > 0 && d.bound.Len() == n && d.scratch.recovered.HasPrefix(d.bound)
 }
 
 // TrueKey returns the original enrolled key (evaluation-only).

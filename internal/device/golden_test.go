@@ -1,0 +1,98 @@
+package device
+
+// Enrollment-path goldens captured from the repository before the
+// scratch-buffer rebuild: the enrolled keys pin the manufacturing and
+// enrollment RNG stream consumption (rng.NormFill must draw exactly as
+// sequential Norm calls did), and the forked-oracle App stream pins
+// Fork's fresh-scratch determinism.
+
+import (
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/groupbased"
+	"repro/internal/pairing"
+	"repro/internal/rng"
+	"repro/internal/tempco"
+)
+
+func TestGoldenEnrolledKeys(t *testing.T) {
+	sp, err := EnrollSeqPair(SeqPairParams{
+		Rows: 8, Cols: 16, ThresholdMHz: 0.8,
+		Policy:     pairing.RandomizedStorage,
+		Code:       ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3, Expurgate: true}),
+		EnrollReps: 20,
+	}, rng.New(42), rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sp.TrueKey().String(), "0110010011011111110100111000000101100010100111100011011101001000"; got != want {
+		t.Errorf("seqpair key drifted:\n got %s\nwant %s", got, want)
+	}
+
+	gb, err := EnrollGroupBased(groupbased.Params{
+		Rows: 4, Cols: 10, Degree: 2, ThresholdMHz: 0.5, MaxGroupSize: 6,
+		Code: ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}), EnrollReps: 25,
+	}, rng.New(42), rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := gb.TrueKey().String(), "100011100110011111010111110100001100101100101011110011111011011"; got != want {
+		t.Errorf("groupbased key drifted:\n got %s\nwant %s", got, want)
+	}
+
+	tc, err := EnrollTempCo(tempco.Params{
+		Rows: 8, Cols: 16, ThresholdMHz: 0.6, TminC: -25, TmaxC: 85,
+		Policy: tempco.RandomSelection,
+		Code:   ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}), EnrollReps: 15,
+	}, rng.New(42), rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tc.TrueKey().String(), "0011011010001001000110011000000110011001010000010101"; got != want {
+		t.Errorf("tempco key drifted:\n got %s\nwant %s", got, want)
+	}
+
+	mk, err := EnrollDistillerPair(DistillerPairParams{
+		Rows: 4, Cols: 10, Degree: 2, Mode: MaskedChain, K: 5,
+		Code: ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}), EnrollReps: 20,
+	}, rng.New(42), rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mk.TrueKey().String(), "1011"; got != want {
+		t.Errorf("masking key drifted: got %s want %s", got, want)
+	}
+
+	ch, err := EnrollDistillerPair(DistillerPairParams{
+		Rows: 4, Cols: 10, Degree: 2, Mode: OverlappingChain,
+		Code: ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}), EnrollReps: 20,
+	}, rng.New(42), rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ch.TrueKey().String(), "000111101001110101101001110011110010100"; got != want {
+		t.Errorf("chain key drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestGoldenForkAppStream(t *testing.T) {
+	d, err := EnrollSeqPair(SeqPairParams{
+		Rows: 8, Cols: 16, ThresholdMHz: 0.8,
+		Policy:     pairing.RandomizedStorage,
+		Code:       ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3, Expurgate: true}),
+		EnrollReps: 20,
+	}, rng.New(42), rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := d.Fork(777)
+	for i := 0; i < 32; i++ {
+		if !f.App() {
+			t.Fatalf("fork777 App #%d failed; seed capture had an all-success stream", i)
+		}
+	}
+	if f.Queries() != 32 || d.Queries() != 0 {
+		t.Fatalf("fork query isolation broken: fork=%d parent=%d", f.Queries(), d.Queries())
+	}
+}

@@ -31,6 +31,10 @@ type GroupBasedDevice struct {
 	enrolled bitvec.Vector
 	bound    bitvec.Vector
 	src      *rng.Source
+	// scratch is the reusable reconstruction state (see
+	// groupbased.Scratch); per-device, not concurrency-safe — Fork
+	// clones the device so each concurrent arm owns its own.
+	scratch groupbased.Scratch
 }
 
 // EnrollGroupBased manufactures and enrolls a device.
@@ -60,6 +64,11 @@ func (d *GroupBasedDevice) ReadHelper() groupbased.Helper {
 	}
 }
 
+// HelperView returns the helper NVM sharing the device's storage — the
+// read-only fast path for marshaling consumers. Callers must not mutate
+// it or retain it across a WriteHelper.
+func (d *GroupBasedDevice) HelperView() groupbased.Helper { return d.nvm }
+
 // WriteHelper overwrites the helper NVM after the honest device's
 // structural validation, and re-binds the application key: the next
 // successful reconstruction defines what the application data is
@@ -77,16 +86,26 @@ func (d *GroupBasedDevice) WriteHelper(h groupbased.Helper) error {
 		Grouping: groupbased.Grouping{Assign: append([]int(nil), h.Grouping.Assign...)},
 		Offset:   h.Offset.Clone(),
 	}
-	// Re-provision: bind the application to the key the new helper
-	// produces, using a fresh reconstruction. A failed reconstruction
-	// leaves the binding unusable (zero-length), so every App fails
-	// until a working helper is written — observable either way.
-	if key, err := groupbased.Reconstruct(d.arr, d.params, d.nvm, d.env, d.src); err == nil {
-		d.bound = key
+	d.scratch.Invalidate()
+	d.bumpNVM()
+	d.ReprovisionKey()
+	return nil
+}
+
+// ReprovisionKey re-binds the application to whatever key the CURRENT
+// helper reconstructs, exactly as a helper write does: one fresh
+// reconstruction, consuming one measurement's noise from the device
+// stream; a failure leaves the binding unusable (zero-length), so every
+// App fails until a working helper is written — observable either way.
+// Adapters re-installing an identical helper image call this directly to
+// keep the write's observable side effects (binding and noise-stream
+// consumption) without re-parsing the image.
+func (d *GroupBasedDevice) ReprovisionKey() {
+	if key, err := groupbased.ReconstructInto(d.arr, d.params, &d.nvm, d.env, d.src, &d.scratch); err == nil {
+		d.bound = key.Clone()
 	} else {
 		d.bound = bitvec.Vector{}
 	}
-	return nil
 }
 
 // BindKey lets the attacker bind the application to a predicted key
@@ -95,10 +114,11 @@ func (d *GroupBasedDevice) WriteHelper(h groupbased.Helper) error {
 func (d *GroupBasedDevice) BindKey(key bitvec.Vector) { d.bound = key.Clone() }
 
 // App reconstructs with the current helper and compares against the
-// currently bound application key.
+// currently bound application key, running in the device's scratch
+// buffers (see SeqPairDevice.App for the determinism contract).
 func (d *GroupBasedDevice) App() bool {
 	d.addQuery()
-	got, err := groupbased.Reconstruct(d.arr, d.params, d.nvm, d.env, d.src)
+	got, err := groupbased.ReconstructInto(d.arr, d.params, &d.nvm, d.env, d.src, &d.scratch)
 	return err == nil && d.bound.Len() > 0 && keysEqual(got, d.bound)
 }
 
@@ -106,7 +126,7 @@ func (d *GroupBasedDevice) App() bool {
 // original enrollment key.
 func (d *GroupBasedDevice) AppOriginal() bool {
 	d.addQuery()
-	got, err := groupbased.Reconstruct(d.arr, d.params, d.nvm, d.env, d.src)
+	got, err := groupbased.ReconstructInto(d.arr, d.params, &d.nvm, d.env, d.src, &d.scratch)
 	return err == nil && keysEqual(got, d.enrolled)
 }
 

@@ -28,11 +28,62 @@ type SeqPairHelperNVM struct {
 // SeqPairDevice is a deployed LISA device.
 type SeqPairDevice struct {
 	base
-	arr    *silicon.Array
-	params SeqPairParams
-	nvm    SeqPairHelperNVM
-	key    bitvec.Vector // enrolled key (secret, drives the observable)
-	src    *rng.Source
+	arr     *silicon.Array
+	params  SeqPairParams
+	nvm     SeqPairHelperNVM
+	key     bitvec.Vector // enrolled key (secret, drives the observable)
+	src     *rng.Source
+	scratch seqPairScratch
+}
+
+// seqPairScratch is the device's reusable reconstruction state: the
+// sparse-measurement mask derived from the stored pair list, the
+// frequency and codeword buffers, and the ECC decode workspace. It makes
+// a steady-state App call allocation-free; WriteHelper invalidates it.
+// Scratch is per-device state, NOT concurrency-safe — Fork clones a
+// device precisely so each concurrent arm owns its own scratch.
+type seqPairScratch struct {
+	helperValid bool
+	freq        []float64
+	want        []bool
+	blocks      int
+	block       *ecc.Block
+	padded      bitvec.Vector
+	recovered   bitvec.Vector
+	ws          ecc.Workspace
+}
+
+// refresh rebuilds the helper-derived caches from the current NVM.
+func (d *SeqPairDevice) refreshScratch() {
+	sc := &d.scratch
+	n := d.arr.N()
+	if cap(sc.want) < n {
+		sc.want = make([]bool, n)
+		sc.freq = make([]float64, n)
+	}
+	sc.want = sc.want[:n]
+	sc.freq = sc.freq[:n]
+	for i := range sc.want {
+		sc.want[i] = false
+	}
+	for _, p := range d.nvm.Pairs.Pairs {
+		sc.want[p.A] = true
+		sc.want[p.B] = true
+	}
+	cn := d.params.Code.N()
+	blocks := (len(d.nvm.Pairs.Pairs) + cn - 1) / cn
+	if blocks == 0 {
+		blocks = 1
+	}
+	if sc.block == nil || sc.blocks != blocks {
+		sc.block = ecc.NewBlock(d.params.Code, blocks)
+		sc.blocks = blocks
+	}
+	if padLen := blocks * cn; sc.padded.Len() != padLen {
+		sc.padded = bitvec.New(padLen)
+		sc.recovered = bitvec.New(padLen)
+	}
+	sc.helperValid = true
 }
 
 // EnrollSeqPair manufactures and enrolls a device. srcMfg drives
@@ -72,6 +123,13 @@ func (d *SeqPairDevice) ReadHelper() SeqPairHelperNVM {
 	}
 }
 
+// HelperView returns the helper NVM content sharing the device's own
+// storage: a read-only fast path for serialization-style consumers
+// (adapters marshaling the NVM into an image) that would otherwise
+// deep-copy and immediately discard. Callers must not mutate it and must
+// not retain it across a WriteHelper.
+func (d *SeqPairDevice) HelperView() SeqPairHelperNVM { return d.nvm }
+
 // WriteHelper overwrites the helper NVM (attacker write access). The
 // device applies its structural sanity checks at write time and rejects
 // malformed content; the paper's attacks pass these checks by design.
@@ -82,10 +140,14 @@ func (d *SeqPairDevice) WriteHelper(h SeqPairHelperNVM) error {
 	if h.Offset.Len() != d.nvm.Offset.Len() {
 		return fmt.Errorf("device: offset length %d, want %d", h.Offset.Len(), d.nvm.Offset.Len())
 	}
-	d.nvm = SeqPairHelperNVM{
-		Pairs:  pairing.SeqPairHelper{Pairs: append([]pairing.Pair(nil), h.Pairs.Pairs...)},
-		Offset: h.Offset.Clone(),
-	}
+	// Copy into the device-owned NVM buffers in place: helper writes are
+	// the attack loops' second hot path, and the buffers' lifetimes are
+	// the device's own (HelperView callers must not hold a view across a
+	// write, which is its documented contract).
+	d.nvm.Pairs.Pairs = append(d.nvm.Pairs.Pairs[:0], h.Pairs.Pairs...)
+	h.Offset.CopyInto(d.nvm.Offset)
+	d.scratch.helperValid = false
+	d.bumpNVM()
 	return nil
 }
 
@@ -97,24 +159,35 @@ func (d *SeqPairDevice) NumPairs() int { return len(d.nvm.Pairs.Pairs) }
 func (d *SeqPairDevice) Code() ecc.Code { return d.params.Code }
 
 // App reconstructs the key from current NVM and fresh measurements and
-// compares it with the enrolled reference.
+// compares it with the enrolled reference. The reconstruction runs
+// entirely in the device's scratch buffers (sparse measurement of the
+// helper-referenced oscillators, decode-into ECC), allocation-free in
+// steady state and bit-identical — keys, outcomes and noise-stream
+// consumption — to the allocating path it replaced.
 func (d *SeqPairDevice) App() bool {
 	d.addQuery()
-	f := d.arr.MeasureAll(d.env, d.src)
-	resp := pairing.Responses(f, d.nvm.Pairs.Pairs)
-	if resp.Len() != d.key.Len() {
+	sc := &d.scratch
+	if !sc.helperValid {
+		d.refreshScratch()
+	}
+	f := d.arr.MeasureSubset(sc.freq, sc.want, d.env, d.src)
+	pairs := d.nvm.Pairs.Pairs
+	if len(pairs) != d.key.Len() {
 		return false
 	}
-	padded, blocks := padToBlocks(resp, d.params.Code)
-	if padded.Len() != d.nvm.Offset.Len() {
+	if sc.padded.Len() != d.nvm.Offset.Len() {
 		return false
 	}
-	block := ecc.NewBlock(d.params.Code, blocks)
-	recovered, _, ok := ecc.Reproduce(block, ecc.Offset{W: d.nvm.Offset}, padded)
-	if !ok {
+	sc.padded.Zero()
+	for i, p := range pairs {
+		if pairing.ResponseBit(f, p) {
+			sc.padded.Set(i, true)
+		}
+	}
+	if _, ok := ecc.ReproduceInto(sc.block, ecc.Offset{W: d.nvm.Offset}, sc.padded, &sc.ws, sc.recovered); !ok {
 		return false
 	}
-	return keysEqual(recovered.Slice(0, d.key.Len()), d.key)
+	return sc.recovered.HasPrefix(d.key)
 }
 
 // TrueKey returns the enrolled key. Evaluation-only: attacks never call

@@ -17,6 +17,10 @@ type TempCoDevice struct {
 	nvm    tempco.Helper
 	key    bitvec.Vector
 	src    *rng.Source
+	// scratch is the reusable reconstruction state (see tempco.Scratch);
+	// per-device, not concurrency-safe — Fork clones the device so each
+	// concurrent arm owns its own.
+	scratch tempco.Scratch
 }
 
 // EnrollTempCo manufactures and enrolls a device. The silicon config gets
@@ -49,6 +53,11 @@ func (d *TempCoDevice) ReadHelper() tempco.Helper {
 	}
 }
 
+// HelperView returns the helper NVM sharing the device's storage — the
+// read-only fast path for marshaling consumers. Callers must not mutate
+// it or retain it across a WriteHelper.
+func (d *TempCoDevice) HelperView() tempco.Helper { return d.nvm }
+
 // WriteHelper overwrites the helper NVM after structural validation.
 func (d *TempCoDevice) WriteHelper(h tempco.Helper) error {
 	if err := tempco.ValidateHelper(h, d.arr.N()); err != nil {
@@ -61,14 +70,17 @@ func (d *TempCoDevice) WriteHelper(h tempco.Helper) error {
 		Pairs:  append([]tempco.PairInfo(nil), h.Pairs...),
 		Offset: h.Offset.Clone(),
 	}
+	d.scratch.Invalidate()
+	d.bumpNVM()
 	return nil
 }
 
 // App reconstructs at the current ambient temperature and compares with
-// the enrolled key.
+// the enrolled key, running in the device's scratch buffers (see
+// SeqPairDevice.App for the determinism contract).
 func (d *TempCoDevice) App() bool {
 	d.addQuery()
-	got, err := tempco.Reconstruct(d.arr, d.params, d.nvm, d.env, d.src)
+	got, err := tempco.ReconstructInto(d.arr, d.params, &d.nvm, d.env, d.src, &d.scratch)
 	return err == nil && keysEqual(got, d.key)
 }
 

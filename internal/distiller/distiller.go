@@ -135,11 +135,41 @@ func Distill(rows, cols int, f []float64, q Poly2D) []float64 {
 	if len(f) != rows*cols {
 		panic(fmt.Sprintf("distiller: %d samples for %dx%d array", len(f), rows, cols))
 	}
-	out := make([]float64, len(f))
-	for idx, v := range f {
-		out[idx] = v - q.Eval(float64(idx%cols), float64(idx/cols))
+	return DistillWithGrid(make([]float64, len(f)), f, q.EvalGrid(rows, cols, nil))
+}
+
+// EvalGrid evaluates the polynomial at every cell of a rows x cols array
+// (row-major, x = column, y = row) into dst, allocating only when dst is
+// too small. The surface depends solely on the helper coefficients, so
+// reconstruction hot loops evaluate it once per helper write and reuse
+// the grid across measurements.
+func (q Poly2D) EvalGrid(rows, cols int, dst []float64) []float64 {
+	n := rows * cols
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-	return out
+	dst = dst[:n]
+	for idx := range dst {
+		dst[idx] = q.Eval(float64(idx%cols), float64(idx/cols))
+	}
+	return dst
+}
+
+// DistillWithGrid subtracts a precomputed EvalGrid surface from a
+// frequency map into dst and returns it; output is bit-identical to
+// Distill with the grid's polynomial.
+func DistillWithGrid(dst, f, grid []float64) []float64 {
+	if len(f) != len(grid) {
+		panic(fmt.Sprintf("distiller: %d samples for %d-cell grid", len(f), len(grid)))
+	}
+	if cap(dst) < len(f) {
+		dst = make([]float64, len(f))
+	}
+	dst = dst[:len(f)]
+	for idx, v := range f {
+		dst[idx] = v - grid[idx]
+	}
+	return dst
 }
 
 // Variance returns the population variance of a sample set; used to

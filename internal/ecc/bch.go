@@ -178,11 +178,12 @@ func (b *BCH) Message(codeword bitvec.Vector) bitvec.Vector {
 	return codeword.Slice(parityLen, b.n)
 }
 
-// syndromes returns S_1..S_numSynd where S_j = r(alpha^j).
-func (b *BCH) syndromes(received bitvec.Vector) []galois.Elem {
+// syndromesInto computes S_1..S_numSynd where S_j = r(alpha^j) into the
+// caller's buffer, growing it only when too small.
+func (b *BCH) syndromesInto(buf []galois.Elem, received bitvec.Vector) []galois.Elem {
 	f := b.field
-	synd := make([]galois.Elem, b.numSynd)
-	for _, i := range received.SupportIndices() {
+	synd := elems(buf, b.numSynd)
+	for i := received.NextSet(0); i >= 0; i = received.NextSet(i + 1) {
 		for j := 1; j <= b.numSynd; j++ {
 			synd[j-1] = f.Add(synd[j-1], f.Exp(i*j))
 		}
@@ -196,8 +197,23 @@ func (b *BCH) syndromes(received bitvec.Vector) []galois.Elem {
 // corrected word still has nonzero syndromes. Expurgated codes also check
 // overall parity, which detects one extra error.
 func (b *BCH) Decode(received bitvec.Vector) (bitvec.Vector, int, bool) {
+	var ws Workspace
+	dst := bitvec.New(b.n)
+	corrected, ok := b.DecodeInto(&ws, received, dst)
+	if !ok {
+		return received, corrected, false
+	}
+	return dst, corrected, true
+}
+
+// DecodeInto implements IntoDecoder: Decode into a caller-owned dst of
+// length N using workspace scratch, with no steady-state allocations.
+func (b *BCH) DecodeInto(ws *Workspace, received, dst bitvec.Vector) (int, bool) {
 	checkLen("received word", received.Len(), b.n)
-	synd := b.syndromes(received)
+	checkLen("decode buffer", dst.Len(), b.n)
+	received.CopyInto(dst)
+	synd := b.syndromesInto(ws.synd, received)
+	ws.synd = synd
 	allZero := true
 	for _, s := range synd {
 		if s != 0 {
@@ -209,54 +225,65 @@ func (b *BCH) Decode(received bitvec.Vector) (bitvec.Vector, int, bool) {
 		if b.expurgated && received.Weight()%2 != 0 {
 			// Zero syndromes but odd parity: detected, uncorrectable
 			// within the bounded-distance radius.
-			return received, 0, false
+			return 0, false
 		}
-		return received, 0, true
+		return 0, true
 	}
 
-	lambda := b.berlekampMassey(synd)
+	lambda := b.berlekampMassey(ws, synd)
 	degree := lambda.Degree()
 	if degree < 1 || degree > b.t {
-		return received, 0, false
+		return 0, false
 	}
 
 	// Chien search over the transmitted positions only: an error located
 	// in a shortened (always-zero) position proves the pattern exceeded
-	// the radius.
+	// the radius. More roots than the locator degree is failure either
+	// way, so the search stops at degree+1 roots.
 	f := b.field
-	positions := make([]int, 0, degree)
-	for i := 0; i < b.fullN; i++ {
+	positions := ws.positions[:0]
+	for i := 0; i < b.fullN && len(positions) <= degree; i++ {
 		if f.Eval(lambda, f.Exp(-i)) == 0 {
 			positions = append(positions, i)
 		}
 	}
+	ws.positions = positions
 	if len(positions) != degree {
-		return received, 0, false
+		return 0, false
 	}
-	corrected := received.Clone()
 	for _, p := range positions {
 		if p >= b.n {
-			return received, 0, false
+			received.CopyInto(dst)
+			return 0, false
 		}
-		corrected.Flip(p)
+		dst.Flip(p)
 	}
-	// Re-verify: all syndromes of the corrected word must vanish.
-	for _, s := range b.syndromes(corrected) {
+	// Re-verify: all syndromes of the corrected word must vanish. The
+	// locator is consumed, so the syndrome buffer is safe to reuse.
+	resynd := b.syndromesInto(ws.synd, dst)
+	ws.synd = resynd
+	for _, s := range resynd {
 		if s != 0 {
-			return received, 0, false
+			received.CopyInto(dst)
+			return 0, false
 		}
 	}
-	if b.expurgated && corrected.Weight()%2 != 0 {
-		return received, 0, false
+	if b.expurgated && dst.Weight()%2 != 0 {
+		received.CopyInto(dst)
+		return 0, false
 	}
-	return corrected, degree, true
+	return degree, true
 }
 
-// berlekampMassey computes the error-locator polynomial from syndromes.
-func (b *BCH) berlekampMassey(synd []galois.Elem) galois.Poly {
+// berlekampMassey computes the error-locator polynomial from syndromes,
+// rotating the workspace's three polynomial buffers instead of
+// allocating per step. The returned locator aliases workspace memory and
+// is only valid until the next decode.
+func (b *BCH) berlekampMassey(ws *Workspace, synd []galois.Elem) galois.Poly {
 	f := b.field
-	c := galois.Poly{1}
-	prev := galois.Poly{1}
+	c := onePoly(ws.bmC)
+	prev := onePoly(ws.bmPrev)
+	spare := ws.bmSpare
 	var l int
 	shift := 1
 	prevDisc := galois.Elem(1)
@@ -272,35 +299,19 @@ func (b *BCH) berlekampMassey(synd []galois.Elem) galois.Poly {
 			shift++
 			continue
 		}
+		next := f.SubScaledShiftInto(spare, c, prev, f.Div(d, prevDisc), shift)
 		if 2*l <= i {
-			tmp := c.Clone()
-			c = subScaledShift(f, c, prev, f.Div(d, prevDisc), shift)
 			l = i + 1 - l
-			prev = tmp
+			spare, prev, c = prev, c, next
 			prevDisc = d
 			shift = 1
 		} else {
-			c = subScaledShift(f, c, prev, f.Div(d, prevDisc), shift)
+			spare, c = c, next
 			shift++
 		}
 	}
+	ws.bmC, ws.bmPrev, ws.bmSpare = c, prev, spare
 	return c
-}
-
-// subScaledShift returns c - coef * x^shift * p (addition in char 2).
-func subScaledShift(f *galois.Field, c, p galois.Poly, coef galois.Elem, shift int) galois.Poly {
-	out := make(galois.Poly, max(len(c), len(p)+shift))
-	copy(out, c)
-	for i, pc := range p {
-		if pc != 0 {
-			out[i+shift] = f.Add(out[i+shift], f.Mul(coef, pc))
-		}
-	}
-	// Trim trailing zeros.
-	for len(out) > 0 && out[len(out)-1] == 0 {
-		out = out[:len(out)-1]
-	}
-	return out
 }
 
 // ContainsAllOnes reports whether the all-ones transmitted word is a
@@ -323,9 +334,13 @@ func (b *BCH) String() string {
 	return fmt.Sprintf("%s(%d,%d,%d)", tag, b.n, b.k, b.t)
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// onePoly resets buf to the constant polynomial 1, reusing its backing
+// array when possible.
+func onePoly(buf galois.Poly) galois.Poly {
+	if cap(buf) < 1 {
+		buf = make(galois.Poly, 1)
 	}
-	return b
+	buf = buf[:1]
+	buf[0] = 1
+	return buf
 }

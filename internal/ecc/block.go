@@ -14,15 +14,24 @@ import (
 type Block struct {
 	inner  Code
 	blocks int
+	// innerInto is the inner code's allocation-free decoder, cached at
+	// construction; nil when the inner code only implements Decode.
+	innerInto IntoDecoder
 }
 
 // NewBlock wraps inner over the given number of blocks. It panics if
-// blocks < 1, a construction-time programming error.
+// blocks < 1, a construction-time programming error, and rejects a Block
+// inner code (nesting would re-enter the per-block workspace buffers).
 func NewBlock(inner Code, blocks int) *Block {
 	if blocks < 1 {
 		panic("ecc: block count must be at least 1")
 	}
-	return &Block{inner: inner, blocks: blocks}
+	if _, nested := inner.(*Block); nested {
+		panic("ecc: Block cannot nest another Block")
+	}
+	b := &Block{inner: inner, blocks: blocks}
+	b.innerInto, _ = inner.(IntoDecoder)
+	return b
 }
 
 // Inner returns the per-block code.
@@ -58,18 +67,41 @@ func (b *Block) Encode(msg bitvec.Vector) bitvec.Vector {
 // is the conjunction of per-block outcomes (decoding continues past a
 // failed block so the total correction count stays meaningful).
 func (b *Block) Decode(received bitvec.Vector) (bitvec.Vector, int, bool) {
+	var ws Workspace
+	out := bitvec.New(b.N())
+	total, allOK := b.DecodeInto(&ws, received, out)
+	return out, total, allOK
+}
+
+// DecodeInto implements IntoDecoder block by block: each inner block is
+// sliced into a workspace buffer, decoded (through the inner code's own
+// DecodeInto when it has one), and written back into dst word-level. As
+// in Decode, a failed block contributes its received bits to dst and
+// decoding continues.
+func (b *Block) DecodeInto(ws *Workspace, received, dst bitvec.Vector) (int, bool) {
 	checkLen("received word", received.Len(), b.N())
+	checkLen("decode buffer", dst.Len(), b.N())
 	in := b.inner.N()
-	out := bitvec.New(0)
+	recv := ws.vec(&ws.blockRecv, in)
+	out := ws.vec(&ws.blockOut, in)
 	total := 0
 	allOK := true
 	for i := 0; i < b.blocks; i++ {
-		cw, corrected, ok := b.inner.Decode(received.Slice(i*in, (i+1)*in))
-		out = out.Concat(cw)
+		received.SliceInto(i*in, (i+1)*in, recv)
+		var corrected int
+		var ok bool
+		if b.innerInto != nil {
+			corrected, ok = b.innerInto.DecodeInto(ws, recv, out)
+			dst.PutAt(i*in, out)
+		} else {
+			var cw bitvec.Vector
+			cw, corrected, ok = b.inner.Decode(recv)
+			dst.PutAt(i*in, cw)
+		}
 		total += corrected
 		allOK = allOK && ok
 	}
-	return out, total, allOK
+	return total, allOK
 }
 
 // Message extracts and concatenates the message bits of every block.

@@ -140,7 +140,19 @@ func decode24(left, right uint16) (eLeft, eRight uint16, ok bool) {
 // always returns a codeword; ok is always true. corrected counts the
 // bit flips applied.
 func (g *Golay) Decode(received bitvec.Vector) (bitvec.Vector, int, bool) {
+	out := bitvec.New(23)
+	corrected, ok := g.DecodeInto(nil, received, out)
+	if !ok {
+		return received, corrected, false
+	}
+	return out, corrected, true
+}
+
+// DecodeInto implements IntoDecoder; the arithmetic decoder works in
+// packed uint16 halves, so ws may be nil.
+func (g *Golay) DecodeInto(_ *Workspace, received, dst bitvec.Vector) (int, bool) {
 	checkLen("received word", received.Len(), 23)
+	checkLen("decode buffer", dst.Len(), 23)
 	var left, right uint16
 	for i := 0; i < 12; i++ {
 		if received.Get(i) {
@@ -174,20 +186,21 @@ func (g *Golay) Decode(received bitvec.Vector) (bitvec.Vector, int, bool) {
 	if best == -1 || best > 3 {
 		// Cannot happen for a perfect code, but keep the contract
 		// honest.
-		return received, 0, false
+		received.CopyInto(dst)
+		return 0, false
 	}
-	out := bitvec.New(23)
+	dst.Zero()
 	for i := 0; i < 12; i++ {
 		if bestLeft>>uint(i)&1 == 1 {
-			out.Set(i, true)
+			dst.Set(i, true)
 		}
 	}
 	for i := 0; i < 11; i++ {
 		if bestRight>>uint(i)&1 == 1 {
-			out.Set(12+i, true)
+			dst.Set(12+i, true)
 		}
 	}
-	return out, best, true
+	return best, true
 }
 
 // Message extracts the systematic 12 message bits.

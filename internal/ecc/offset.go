@@ -45,13 +45,13 @@ func OffsetFor(c Code, response, msg bitvec.Vector) Offset {
 // decoding fails (error count beyond the radius). corrected is the number
 // of bit errors the decoder repaired.
 func Reproduce(c Code, o Offset, response bitvec.Vector) (recovered bitvec.Vector, corrected int, ok bool) {
-	checkLen("response", response.Len(), c.N())
-	checkLen("offset", o.W.Len(), c.N())
-	cw, corrected, ok := c.Decode(o.W.Xor(response))
+	var ws Workspace
+	dst := bitvec.New(c.N())
+	corrected, ok = ReproduceInto(c, o, response, &ws, dst)
 	if !ok {
 		return bitvec.Vector{}, corrected, false
 	}
-	return o.W.Xor(cw), corrected, true
+	return dst, corrected, true
 }
 
 // ConsistentWith reports whether candidate could be the enrolled response

@@ -45,19 +45,23 @@ func (r *Repetition) Encode(msg bitvec.Vector) bitvec.Vector {
 // Decode takes a majority vote. With n odd the vote never ties, so ok is
 // always true; patterns beyond t miscorrect silently.
 func (r *Repetition) Decode(received bitvec.Vector) (bitvec.Vector, int, bool) {
+	cw := bitvec.New(r.N())
+	corrected, ok := r.DecodeInto(nil, received, cw)
+	return cw, corrected, ok
+}
+
+// DecodeInto implements IntoDecoder; the majority vote needs no
+// workspace scratch, so ws may be nil.
+func (r *Repetition) DecodeInto(_ *Workspace, received, dst bitvec.Vector) (int, bool) {
 	checkLen("received word", received.Len(), r.N())
+	checkLen("decode buffer", dst.Len(), r.N())
 	w := received.Weight()
-	bit := w > r.t
-	var cw bitvec.Vector
-	var corrected int
-	if bit {
-		cw = bitvec.Ones(r.N())
-		corrected = r.N() - w
-	} else {
-		cw = bitvec.New(r.N())
-		corrected = w
+	if w > r.t {
+		dst.SetAll()
+		return r.N() - w, true
 	}
-	return cw, corrected, true
+	dst.Zero()
+	return w, true
 }
 
 // Message returns the first bit of the codeword.

@@ -1,0 +1,87 @@
+package ecc
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/galois"
+)
+
+// Workspace is caller-owned scratch state for the allocation-free decode
+// path. A zero Workspace is ready to use; buffers grow on first use and
+// are reused afterwards, so a steady-state Reproduce/Decode cycle over a
+// fixed code performs no heap allocations. A Workspace serves one decode
+// call at a time: it is not safe for concurrent use, and a Block must
+// not nest another Block as its inner code (the per-block buffers would
+// be reentered). Devices keep one Workspace per oracle and clone none of
+// it on Fork — every field is rebuilt from scratch deterministically.
+type Workspace struct {
+	// code-offset buffer: offset XOR response, full composite length.
+	xorBuf bitvec.Vector
+	// per-block buffers of a Block decode.
+	blockRecv, blockOut bitvec.Vector
+	// BCH decoder state: syndromes, the three rotating Berlekamp-Massey
+	// polynomial buffers, and the Chien-search root list.
+	synd      []galois.Elem
+	bmC       galois.Poly
+	bmPrev    galois.Poly
+	bmSpare   galois.Poly
+	positions []int
+}
+
+// vec returns *v resized to n bits, reallocating only on length change.
+// Contents are unspecified; callers overwrite the buffer fully.
+func (ws *Workspace) vec(v *bitvec.Vector, n int) bitvec.Vector {
+	if v.Len() != n {
+		*v = bitvec.New(n)
+	}
+	return *v
+}
+
+// elems returns buf resized to n elements, zeroed.
+func elems(buf []galois.Elem, n int) []galois.Elem {
+	if cap(buf) < n {
+		return make([]galois.Elem, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// IntoDecoder is the optional fast path of a Code: decode an N-bit word
+// into a caller-owned destination using workspace scratch. The contract
+// mirrors Decode exactly — bit-identical corrected output and identical
+// (corrected, ok) — with dst holding the corrected codeword on ok and
+// the received word on !ok (what Decode returns as its first value
+// either way). All codes in this package implement it; Block uses it
+// per inner block when available and falls back to Decode otherwise.
+type IntoDecoder interface {
+	Code
+	DecodeInto(ws *Workspace, received, dst bitvec.Vector) (corrected int, ok bool)
+}
+
+// ReproduceInto is Reproduce with caller-owned scratch: dst (length
+// c.N()) receives the recovered response on ok=true and holds
+// unspecified scratch on ok=false. Output is bit-identical to Reproduce
+// on the same inputs.
+func ReproduceInto(c Code, o Offset, response bitvec.Vector, ws *Workspace, dst bitvec.Vector) (corrected int, ok bool) {
+	checkLen("response", response.Len(), c.N())
+	checkLen("offset", o.W.Len(), c.N())
+	checkLen("reproduce buffer", dst.Len(), c.N())
+	buf := ws.vec(&ws.xorBuf, c.N())
+	o.W.XorInto(response, buf)
+	if id, fast := c.(IntoDecoder); fast {
+		corrected, ok = id.DecodeInto(ws, buf, dst)
+	} else {
+		var cw bitvec.Vector
+		cw, corrected, ok = c.Decode(buf)
+		if ok {
+			cw.CopyInto(dst)
+		}
+	}
+	if !ok {
+		return corrected, false
+	}
+	o.W.XorInto(dst, dst)
+	return corrected, true
+}

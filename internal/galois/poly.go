@@ -88,6 +88,45 @@ func (f *Field) PolyDivMod(p, q Poly) (quot, rem Poly) {
 	return quot, rem
 }
 
+// CopyInto copies p into the caller-owned buffer dst, growing it only
+// when its capacity is insufficient, and returns the (possibly regrown)
+// slice. The scratch-buffer counterpart of Clone for decoder workspaces
+// that run the Berlekamp-Massey recursion without per-step allocation.
+func (p Poly) CopyInto(dst Poly) Poly {
+	if cap(dst) < len(p) {
+		dst = make(Poly, len(p))
+	}
+	dst = dst[:len(p)]
+	copy(dst, p)
+	return dst
+}
+
+// SubScaledShiftInto writes c - coef * x^shift * q (characteristic 2, so
+// also c + coef * x^shift * q) into dst and returns it trimmed of
+// trailing zeros. dst must not alias c or q; it is regrown only when too
+// small, so a workspace that rotates three buffers through the
+// Berlekamp-Massey recursion settles into zero allocations.
+func (f *Field) SubScaledShiftInto(dst, c, q Poly, coef Elem, shift int) Poly {
+	n := len(c)
+	if m := len(q) + shift; m > n {
+		n = m
+	}
+	if cap(dst) < n {
+		dst = make(Poly, n)
+	}
+	dst = dst[:n]
+	copy(dst, c)
+	for i := len(c); i < n; i++ {
+		dst[i] = 0
+	}
+	for i, qc := range q {
+		if qc != 0 {
+			dst[i+shift] = f.Add(dst[i+shift], f.Mul(coef, qc))
+		}
+	}
+	return dst.trim()
+}
+
 // Eval evaluates p at x using Horner's rule.
 func (f *Field) Eval(p Poly, x Elem) Elem {
 	var acc Elem

@@ -89,7 +89,23 @@ func (g *Grouping) Members() [][]int {
 	if g.groups != nil {
 		return g.groups
 	}
-	out := make([][]int, g.NumGroups())
+	// Two passes over one shared backing array: count, carve slice
+	// headers, fill in ascending RO order. Member lists come out
+	// identical to per-group appends at two allocations total — this
+	// runs on every helper re-parse of the attack loops.
+	num := g.NumGroups()
+	counts := make([]int, num+1)
+	for _, a := range g.Assign {
+		counts[a+1]++
+	}
+	for i := 1; i <= num; i++ {
+		counts[i] += counts[i-1]
+	}
+	backing := make([]int, len(g.Assign))
+	out := make([][]int, num)
+	for id := 0; id < num; id++ {
+		out[id] = backing[counts[id]:counts[id]:counts[id+1]]
+	}
 	for ro, a := range g.Assign {
 		out[a] = append(out[a], ro)
 	}

@@ -106,10 +106,14 @@ func groupOrder(members []int, residuals []float64) []int {
 // PackKey converts an error-corrected Kendall stream into the secret key:
 // per group, decode the Kendall bits to an order and append its compact
 // coding (the entropy-packing step of Fig. 4). An invalid (non-
-// transitive) group coding fails the whole reconstruction.
+// transitive) group coding fails the whole reconstruction. The key is
+// assembled into one preallocated vector through scratch codecs — attack
+// arms call this per hypothesis, so the per-group allocation churn of
+// the naive decode/concat loop matters.
 func PackKey(g *Grouping, stream bitvec.Vector) (bitvec.Vector, error) {
-	key := bitvec.New(0)
-	at := 0
+	var sc perm.Scratch
+	key := bitvec.New(KeyLen(g))
+	at, keyAt := 0, 0
 	for id, members := range g.Members() {
 		n := len(members)
 		if n < 2 {
@@ -119,11 +123,12 @@ func PackKey(g *Grouping, stream bitvec.Vector) (bitvec.Vector, error) {
 		if at+bits > stream.Len() {
 			return bitvec.Vector{}, fmt.Errorf("groupbased: stream exhausted at group %d: %w", id, ErrReconstructFailed)
 		}
-		order, err := perm.KendallDecode(stream.Slice(at, at+bits), n)
+		order, err := sc.KendallDecodeAt(stream, at, n)
 		if err != nil {
 			return bitvec.Vector{}, fmt.Errorf("groupbased: group %d: %v: %w", id, err, ErrReconstructFailed)
 		}
-		key = key.Concat(perm.CompactEncode(order))
+		sc.CompactEncodeAt(key, keyAt, order)
+		keyAt += perm.CompactBits(n)
 		at += bits
 	}
 	return key, nil
@@ -200,26 +205,147 @@ func Enroll(a *silicon.Array, p Params, src *rng.Source) (Helper, bitvec.Vector,
 // performs the honest device's structural validation, then follows the
 // helper blindly — the paper's threat model.
 func Reconstruct(a *silicon.Array, p Params, h Helper, env silicon.Environment, src *rng.Source) (bitvec.Vector, error) {
-	if err := h.Grouping.Validate(a.N()); err != nil {
+	var sc Scratch
+	key, err := ReconstructInto(a, p, &h, env, src, &sc)
+	if err != nil {
 		return bitvec.Vector{}, err
 	}
+	return key, nil
+}
+
+// Scratch carries the reusable buffers of ReconstructInto. A zero value
+// is ready; a device keeps one per oracle and calls Invalidate whenever
+// its helper NVM changes so the helper-derived caches (validation,
+// member lists, distiller surface, stream geometry) are rebuilt. Not
+// safe for concurrent use — forks get their own zero Scratch.
+type Scratch struct {
+	freq  []float64
+	resid []float64
+	grid  []float64
+	// helper-derived caches, valid while helperValid is set.
+	helperValid bool
+	members     [][]int
+	streamLen   int
+	keyLen      int
+	blocks      int
+	block       *ecc.Block
+	// per-measurement buffers.
+	padded    bitvec.Vector
+	corrected bitvec.Vector
+	key       bitvec.Vector
+	ws        ecc.Workspace
+	perm      perm.Scratch
+	groupVals []float64
+}
+
+// Invalidate drops the helper-derived caches; the next ReconstructInto
+// revalidates and rebuilds them.
+func (sc *Scratch) Invalidate() { sc.helperValid = false }
+
+// refresh (re)builds the helper-derived caches, mirroring the structural
+// validation order of the legacy Reconstruct so failure modes and their
+// errors are unchanged.
+func (sc *Scratch) refresh(a *silicon.Array, p Params, h *Helper) error {
+	if err := h.Grouping.Validate(a.N()); err != nil {
+		return err
+	}
 	if h.Offset.Len()%p.Code.N() != 0 || h.Offset.Len() == 0 {
-		return bitvec.Vector{}, fmt.Errorf("groupbased: offset length %d not a block multiple", h.Offset.Len())
+		return fmt.Errorf("groupbased: offset length %d not a block multiple", h.Offset.Len())
 	}
-	if StreamLen(&h.Grouping) > h.Offset.Len() {
-		return bitvec.Vector{}, fmt.Errorf("groupbased: offset too short for grouping stream")
+	sc.members = h.Grouping.Members()
+	sc.streamLen = StreamLen(&h.Grouping)
+	if sc.streamLen > h.Offset.Len() {
+		return fmt.Errorf("groupbased: offset too short for grouping stream")
 	}
-	f := a.MeasureAll(env, src)
-	residuals := distiller.Distill(p.Rows, p.Cols, f, h.Poly)
-	stream := KendallStream(&h.Grouping, residuals)
-	padded, blocks := padToBlocks(stream, p.Code)
-	if padded.Len() != h.Offset.Len() {
-		return bitvec.Vector{}, fmt.Errorf("groupbased: stream/offset length mismatch %d vs %d", padded.Len(), h.Offset.Len())
+	sc.keyLen = KeyLen(&h.Grouping)
+	sc.grid = h.Poly.EvalGrid(p.Rows, p.Cols, sc.grid)
+	blocks := (sc.streamLen + p.Code.N() - 1) / p.Code.N()
+	if blocks == 0 {
+		blocks = 1
 	}
-	block := ecc.NewBlock(p.Code, blocks)
-	corrected, _, ok := ecc.Reproduce(block, ecc.Offset{W: h.Offset}, padded)
-	if !ok {
+	if sc.block == nil || sc.blocks != blocks {
+		sc.block = ecc.NewBlock(p.Code, blocks)
+		sc.blocks = blocks
+	}
+	padLen := blocks * p.Code.N()
+	if sc.padded.Len() != padLen {
+		sc.padded = bitvec.New(padLen)
+		sc.corrected = bitvec.New(padLen)
+	}
+	if sc.key.Len() != sc.keyLen {
+		sc.key = bitvec.New(sc.keyLen)
+	}
+	sc.helperValid = true
+	return nil
+}
+
+// ReconstructInto is Reconstruct against caller-owned scratch state: the
+// reconstruction hot path the devices run per oracle query, free of
+// steady-state allocations. The returned key is scratch-owned and valid
+// until the next call; clone it to retain it. Keys, failure outcomes and
+// the measurement-noise stream consumption are bit-identical to
+// Reconstruct.
+func ReconstructInto(a *silicon.Array, p Params, h *Helper, env silicon.Environment, src *rng.Source, sc *Scratch) (bitvec.Vector, error) {
+	if !sc.helperValid {
+		if err := sc.refresh(a, p, h); err != nil {
+			return bitvec.Vector{}, err
+		}
+	}
+	if cap(sc.freq) < a.N() {
+		sc.freq = make([]float64, a.N())
+	}
+	f := a.MeasureInto(sc.freq[:a.N()], env, src)
+	sc.resid = distiller.DistillWithGrid(sc.resid, f, sc.grid)
+	// Kendall-code the per-group orders straight into the zero-padded
+	// block buffer (the fusion of KendallStream and padToBlocks).
+	sc.padded.Zero()
+	at := 0
+	for _, members := range sc.members {
+		if len(members) < 2 {
+			continue
+		}
+		vals := sc.groupVals
+		if cap(vals) < len(members) {
+			vals = make([]float64, len(members))
+		}
+		vals = vals[:len(members)]
+		sc.groupVals = vals
+		for l, ro := range members {
+			vals[l] = sc.resid[ro]
+		}
+		order := sc.perm.OrderInto(vals)
+		sc.perm.KendallEncodeAt(sc.padded, at, order)
+		at += perm.KendallBits(len(members))
+	}
+	if sc.padded.Len() != h.Offset.Len() {
+		return bitvec.Vector{}, fmt.Errorf("groupbased: stream/offset length mismatch %d vs %d", sc.padded.Len(), h.Offset.Len())
+	}
+	if _, ok := ecc.ReproduceInto(sc.block, ecc.Offset{W: h.Offset}, sc.padded, &sc.ws, sc.corrected); !ok {
 		return bitvec.Vector{}, ErrReconstructFailed
 	}
-	return PackKey(&h.Grouping, corrected)
+	return sc.packKeyInto(h, sc.corrected)
+}
+
+// packKeyInto is PackKey into the scratch key buffer, using the cached
+// member lists and stream offsets.
+func (sc *Scratch) packKeyInto(h *Helper, stream bitvec.Vector) (bitvec.Vector, error) {
+	at, keyAt := 0, 0
+	for id, members := range sc.members {
+		n := len(members)
+		if n < 2 {
+			continue
+		}
+		bits := perm.KendallBits(n)
+		if at+bits > stream.Len() {
+			return bitvec.Vector{}, fmt.Errorf("groupbased: stream exhausted at group %d: %w", id, ErrReconstructFailed)
+		}
+		order, err := sc.perm.KendallDecodeAt(stream, at, n)
+		if err != nil {
+			return bitvec.Vector{}, fmt.Errorf("groupbased: group %d: %v: %w", id, err, ErrReconstructFailed)
+		}
+		sc.perm.CompactEncodeAt(sc.key, keyAt, order)
+		keyAt += perm.CompactBits(n)
+		at += bits
+	}
+	return sc.key, nil
 }

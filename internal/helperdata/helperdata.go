@@ -65,6 +65,14 @@ func (im *Image) Set(name string, data []byte) {
 	im.sections[name] = append([]byte(nil), data...)
 }
 
+// SetOwned stores a section WITHOUT copying: the image takes ownership
+// of data and the caller must not mutate it afterwards. Attack arm
+// builders use it to share one marshaled blob (e.g. an unchanged ECC
+// offset) across the many images of a hypothesis sweep.
+func (im *Image) SetOwned(name string, data []byte) {
+	im.sections[name] = data
+}
+
 // Section returns a copy of a section's content and whether it exists.
 func (im *Image) Section(name string) ([]byte, bool) {
 	d, ok := im.sections[name]
@@ -72,6 +80,14 @@ func (im *Image) Section(name string) ([]byte, bool) {
 		return nil, false
 	}
 	return append([]byte(nil), d...), true
+}
+
+// SectionRO returns a section's content WITHOUT copying, for read-only
+// parsing on hot paths. The caller must not mutate or retain the slice
+// beyond the parse.
+func (im *Image) SectionRO(name string) ([]byte, bool) {
+	d, ok := im.sections[name]
+	return d, ok
 }
 
 // Names returns the section names in sorted order.

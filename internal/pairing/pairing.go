@@ -246,9 +246,9 @@ func EnrollSeqPair(f []float64, thresholdMHz float64, policy StoragePolicy, src 
 // pairs, or the ORDER within one pair, still passes — which is the point
 // of the attack.
 func (h SeqPairHelper) Validate(n int) error {
-	used := make(map[int]bool)
+	used := make([]bool, n)
 	for _, p := range h.Pairs {
-		for _, v := range []int{p.A, p.B} {
+		for _, v := range [2]int{p.A, p.B} { // array literal: no per-pair allocation
 			if v < 0 || v >= n {
 				return fmt.Errorf("pairing: index %d outside array of %d", v, n)
 			}

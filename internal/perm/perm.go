@@ -201,6 +201,142 @@ func KendallDecode(v bitvec.Vector, n int) ([]int, error) {
 	return order, nil
 }
 
+// Scratch holds the reusable buffers of the allocation-free coding
+// variants (OrderInto, KendallEncodeAt, KendallDecodeAt,
+// CompactEncodeAt). A zero Scratch is ready; buffers grow to the largest
+// group seen and are reused afterwards. Not safe for concurrent use.
+type Scratch struct {
+	order []int
+	pos   []int
+	wins  []int
+	seen  []bool
+}
+
+// grow resizes every buffer to n elements, reallocating only on growth.
+func (s *Scratch) grow(n int) {
+	if cap(s.order) < n {
+		s.order = make([]int, n)
+		s.pos = make([]int, n)
+		s.wins = make([]int, n)
+		s.seen = make([]bool, n)
+	}
+	s.order = s.order[:n]
+	s.pos = s.pos[:n]
+	s.wins = s.wins[:n]
+	s.seen = s.seen[:n]
+}
+
+// OrderInto is OrderOf into the scratch's order buffer; values is only
+// read. The returned slice is valid until the next scratch-using call.
+func (s *Scratch) OrderInto(values []float64) []int {
+	s.grow(len(values))
+	o := s.order
+	for i := range o {
+		o[i] = i
+	}
+	for i := 1; i < len(o); i++ {
+		for j := i; j > 0; j-- {
+			vi, vj := values[o[j]], values[o[j-1]]
+			if vi > vj || (vi == vj && o[j] < o[j-1]) {
+				o[j], o[j-1] = o[j-1], o[j]
+			} else {
+				break
+			}
+		}
+	}
+	return o
+}
+
+// KendallEncodeAt writes the Kendall coding of order o into dst starting
+// at bit offset at, overwriting KendallBits(len(o)) bits. The caller
+// guarantees o is a valid permutation (it skips OrderOf-style
+// validation); output bits match KendallEncode exactly.
+func (s *Scratch) KendallEncodeAt(dst bitvec.Vector, at int, o []int) {
+	s.grow(len(o))
+	pos := s.pos
+	for p, label := range o {
+		pos[label] = p
+	}
+	k := at
+	for i := 0; i < len(o); i++ {
+		for j := i + 1; j < len(o); j++ {
+			dst.Set(k, pos[j] < pos[i])
+			k++
+		}
+	}
+}
+
+// KendallDecodeAt reads KendallBits(n) bits of v starting at offset at
+// and reconstructs the order, mirroring KendallDecode (including the
+// transitivity and per-pair consistency checks). The returned slice is
+// scratch-owned and valid until the next scratch-using call.
+func (s *Scratch) KendallDecodeAt(v bitvec.Vector, at, n int) ([]int, error) {
+	s.grow(n)
+	wins, order, seen, pos := s.wins, s.order, s.seen, s.pos
+	for i := range wins {
+		wins[i] = 0
+		seen[i] = false
+	}
+	k := at
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if v.Get(k) {
+				wins[j]++
+			} else {
+				wins[i]++
+			}
+			k++
+		}
+	}
+	for label, w := range wins {
+		p := n - 1 - w
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("perm: kendall coding %s is not transitive", v.Slice(at, at+KendallBits(n)))
+		}
+		seen[p] = true
+		order[p] = label
+	}
+	// Verify every pair bit against the reconstructed order, the inline
+	// equivalent of KendallEncode(order).Equal(v-slice).
+	for p, label := range order {
+		pos[label] = p
+	}
+	k = at
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if v.Get(k) != (pos[j] < pos[i]) {
+				return nil, fmt.Errorf("perm: kendall coding %s is inconsistent", v.Slice(at, at+KendallBits(n)))
+			}
+			k++
+		}
+	}
+	return order, nil
+}
+
+// CompactEncodeAt writes the compact coding of order o into dst starting
+// at bit offset at, overwriting CompactBits(len(o)) bits. The caller
+// guarantees o is a valid permutation; output bits match CompactEncode.
+func (s *Scratch) CompactEncodeAt(dst bitvec.Vector, at int, o []int) {
+	n := len(o)
+	if n > 20 {
+		panic("perm: rank overflow beyond n=20")
+	}
+	var rank uint64
+	for i := 0; i < n; i++ {
+		smaller := 0
+		for j := i + 1; j < n; j++ {
+			if o[j] < o[i] {
+				smaller++
+			}
+		}
+		rank = rank*uint64(n-i) + uint64(smaller)
+	}
+	bits := CompactBits(n)
+	for i := 0; i < bits; i++ {
+		dst.Set(at+i, rank>>uint(bits-1-i)&1 == 1)
+	}
+}
+
 // KendallDistance returns the Kendall tau distance between two orders:
 // the number of pairwise disagreements, equal to the Hamming distance of
 // their Kendall codings and to the minimum number of adjacent flips

@@ -1,0 +1,58 @@
+package silicon
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestMeasureIntoMatchesMeasureAll pins the bulk path: same stream
+// consumption, bit-identical frequencies.
+func TestMeasureIntoMatchesMeasureAll(t *testing.T) {
+	for _, window := range []float64{0, 2.5} {
+		cfg := DefaultConfig(6, 7)
+		cfg.CounterWindowUS = window
+		a := NewArray(cfg, rng.New(1))
+		env := Environment{TempC: 40, VoltageV: 1.15}
+
+		srcA, srcB := rng.New(99), rng.New(99)
+		ref := a.MeasureAll(env, srcA)
+		dst := make([]float64, a.N())
+		a.MeasureInto(dst, env, srcB)
+		for i := range ref {
+			if ref[i] != dst[i] {
+				t.Fatalf("window=%v: oscillator %d: MeasureInto %v != MeasureAll %v", window, i, dst[i], ref[i])
+			}
+		}
+		// The streams must end in the same state.
+		if srcA.Uint64() != srcB.Uint64() {
+			t.Fatalf("window=%v: stream state diverged after bulk measurement", window)
+		}
+	}
+}
+
+// TestMeasureSubsetDrawAndDiscard pins the sparse-measurement contract:
+// noise draws are consumed for EVERY oscillator in index order even when
+// only a subset is computed, so the wanted entries and the post-call
+// stream state are bit-identical to a full MeasureAll.
+func TestMeasureSubsetDrawAndDiscard(t *testing.T) {
+	a := NewArray(DefaultConfig(5, 9), rng.New(2))
+	env := a.Config().NominalEnv()
+	want := make([]bool, a.N())
+	for i := 0; i < a.N(); i += 3 {
+		want[i] = true
+	}
+
+	srcA, srcB := rng.New(7), rng.New(7)
+	ref := a.MeasureAll(env, srcA)
+	dst := make([]float64, a.N())
+	a.MeasureSubset(dst, want, env, srcB)
+	for i := range ref {
+		if want[i] && ref[i] != dst[i] {
+			t.Fatalf("oscillator %d: subset %v != full %v", i, dst[i], ref[i])
+		}
+	}
+	if srcA.Uint64() != srcB.Uint64() {
+		t.Fatal("sparse measurement did not draw-and-discard: stream state diverged")
+	}
+}

@@ -229,11 +229,58 @@ func (a *Array) Measure(i int, env Environment, src *rng.Source) float64 {
 
 // MeasureAll measures every oscillator once in the given environment.
 func (a *Array) MeasureAll(env Environment, src *rng.Source) []float64 {
-	out := make([]float64, a.N())
-	for i := range out {
-		out[i] = a.Measure(i, env, src)
+	return a.MeasureInto(make([]float64, a.N()), env, src)
+}
+
+// MeasureInto is MeasureAll into a caller-owned buffer of length N: the
+// hot-loop variant the devices' scratch state feeds with a reused slice.
+// Noise is drawn in bulk (rng.NormFill), consuming the source exactly as
+// N sequential Measure calls would, so MeasureAll and MeasureInto are
+// interchangeable on the same stream. It returns dst.
+func (a *Array) MeasureInto(dst []float64, env Environment, src *rng.Source) []float64 {
+	if len(dst) != a.N() {
+		panic(fmt.Sprintf("silicon: MeasureInto buffer length %d, want %d", len(dst), a.N()))
 	}
-	return out
+	src.NormFill(dst)
+	sigma := a.cfg.NoiseSigmaMHz
+	for i := range dst {
+		f := a.TrueFreq(i, env) + (0 + sigma*dst[i])
+		if a.cfg.CounterWindowUS > 0 {
+			count := math.Floor(f * a.cfg.CounterWindowUS)
+			f = count / a.cfg.CounterWindowUS
+		}
+		dst[i] = f
+	}
+	return dst
+}
+
+// MeasureSubset measures only the oscillators with want[i] set, writing
+// their frequencies into dst; entries of dst outside the subset are
+// scratch garbage the caller must not read. Pinned determinism contract:
+// the noise draw for every oscillator — wanted or not — is still consumed
+// from src in index order (draw-and-discard), so a device that measures a
+// helper-referenced subset produces bit-identical frequencies, and leaves
+// the stream in a bit-identical state, to one that calls MeasureAll. The
+// saved work is the per-oscillator frequency model and counter
+// quantization, not the noise sampling.
+func (a *Array) MeasureSubset(dst []float64, want []bool, env Environment, src *rng.Source) []float64 {
+	if len(dst) != a.N() || len(want) != a.N() {
+		panic(fmt.Sprintf("silicon: MeasureSubset buffers %d/%d, want %d", len(dst), len(want), a.N()))
+	}
+	src.NormFill(dst)
+	sigma := a.cfg.NoiseSigmaMHz
+	for i := range dst {
+		if !want[i] {
+			continue
+		}
+		f := a.TrueFreq(i, env) + (0 + sigma*dst[i])
+		if a.cfg.CounterWindowUS > 0 {
+			count := math.Floor(f * a.cfg.CounterWindowUS)
+			f = count / a.cfg.CounterWindowUS
+		}
+		dst[i] = f
+	}
+	return dst
 }
 
 // MeasureAveraged measures every oscillator `reps` times and returns the

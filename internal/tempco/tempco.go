@@ -305,12 +305,103 @@ func resolveBit(info PairInfo, f []float64, tempC float64) bool {
 // temperature. Values of Tl/Th themselves are trusted — they are helper
 // data, and that trust is what the paper's acceleration trick abuses.
 func Reconstruct(a *silicon.Array, p Params, h Helper, env silicon.Environment, src *rng.Source) (bitvec.Vector, error) {
-	if err := ValidateHelper(h, a.N()); err != nil {
+	var sc Scratch
+	key, err := ReconstructInto(a, p, &h, env, src, &sc)
+	if err != nil {
 		return bitvec.Vector{}, err
 	}
-	f := a.MeasureAll(env, src)
+	return key, nil
+}
+
+// Scratch carries the reusable buffers of ReconstructInto. A zero value
+// is ready; a device keeps one per oracle and calls Invalidate when its
+// helper NVM changes. Not safe for concurrent use — forks get their own
+// zero Scratch.
+type Scratch struct {
+	freq []float64
+	want []bool
+	// helper-derived caches, valid while helperValid is set.
+	helperValid bool
+	keyLen      int
+	blocks      int
+	block       *ecc.Block
+	// per-measurement buffers.
+	padded    bitvec.Vector
+	corrected bitvec.Vector
+	key       bitvec.Vector
+	ws        ecc.Workspace
+}
+
+// Invalidate drops the helper-derived caches.
+func (sc *Scratch) Invalidate() { sc.helperValid = false }
+
+// refresh (re)builds the helper-derived caches: validation, the subset
+// of oscillators the helper actually references (bad pairs contribute no
+// bits, so their oscillators are never measured — only their noise draws
+// are consumed, see silicon.MeasureSubset), and the ECC geometry.
+func (sc *Scratch) refresh(a *silicon.Array, p Params, h *Helper) error {
+	if err := ValidateHelper(*h, a.N()); err != nil {
+		return err
+	}
+	if cap(sc.want) < a.N() {
+		sc.want = make([]bool, a.N())
+	}
+	sc.want = sc.want[:a.N()]
+	for i := range sc.want {
+		sc.want[i] = false
+	}
+	sc.keyLen = 0
+	for _, info := range h.Pairs {
+		if info.Class == Bad {
+			continue
+		}
+		sc.keyLen++
+		sc.want[info.Pair.A] = true
+		sc.want[info.Pair.B] = true
+		if info.Class == Cooperating {
+			for _, ref := range []PairInfo{h.Pairs[info.MaskIdx], h.Pairs[info.HelpIdx]} {
+				sc.want[ref.Pair.A] = true
+				sc.want[ref.Pair.B] = true
+			}
+		}
+	}
+	n := p.Code.N()
+	blocks := (len(h.Pairs) + n - 1) / n
+	if blocks == 0 {
+		blocks = 1
+	}
+	if sc.block == nil || sc.blocks != blocks {
+		sc.block = ecc.NewBlock(p.Code, blocks)
+		sc.blocks = blocks
+	}
+	if padLen := blocks * n; sc.padded.Len() != padLen {
+		sc.padded = bitvec.New(padLen)
+		sc.corrected = bitvec.New(padLen)
+	}
+	if sc.key.Len() != sc.keyLen {
+		sc.key = bitvec.New(sc.keyLen)
+	}
+	sc.helperValid = true
+	return nil
+}
+
+// ReconstructInto is Reconstruct against caller-owned scratch state, the
+// devices' per-query hot path. The returned key is scratch-owned and
+// valid until the next call. Keys, failure outcomes and the noise-stream
+// consumption are bit-identical to Reconstruct.
+func ReconstructInto(a *silicon.Array, p Params, h *Helper, env silicon.Environment, src *rng.Source, sc *Scratch) (bitvec.Vector, error) {
+	if !sc.helperValid {
+		if err := sc.refresh(a, p, h); err != nil {
+			return bitvec.Vector{}, err
+		}
+	}
+	if cap(sc.freq) < a.N() {
+		sc.freq = make([]float64, a.N())
+	}
+	f := a.MeasureSubset(sc.freq[:a.N()], sc.want, env, src)
 	t := env.TempC
-	bits := bitvec.New(len(h.Pairs))
+	sc.padded.Zero()
+	bits := sc.padded
 	for i, info := range h.Pairs {
 		switch info.Class {
 		case Bad:
@@ -333,16 +424,21 @@ func Reconstruct(a *silicon.Array, p Params, h Helper, env silicon.Environment, 
 			bits.Set(i, resolveBit(help, f, t) != pairing.ResponseBit(f, mask.Pair))
 		}
 	}
-	padded, blocks := padToBlocks(bits, p.Code)
-	if padded.Len() != h.Offset.Len() {
-		return bitvec.Vector{}, fmt.Errorf("tempco: offset length %d, stream %d", h.Offset.Len(), padded.Len())
+	if sc.padded.Len() != h.Offset.Len() {
+		return bitvec.Vector{}, fmt.Errorf("tempco: offset length %d, stream %d", h.Offset.Len(), sc.padded.Len())
 	}
-	block := ecc.NewBlock(p.Code, blocks)
-	corrected, _, ok := ecc.Reproduce(block, ecc.Offset{W: h.Offset}, padded)
-	if !ok {
+	if _, ok := ecc.ReproduceInto(sc.block, ecc.Offset{W: h.Offset}, sc.padded, &sc.ws, sc.corrected); !ok {
 		return bitvec.Vector{}, ErrReconstructFailed
 	}
-	return keyBits(h.Pairs, corrected), nil
+	keyAt := 0
+	for i, info := range h.Pairs {
+		if info.Class == Bad {
+			continue
+		}
+		sc.key.Set(keyAt, sc.corrected.Get(i))
+		keyAt++
+	}
+	return sc.key, nil
 }
 
 // ValidateHelper applies the honest device's structural checks.
