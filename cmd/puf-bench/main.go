@@ -5,13 +5,25 @@
 // Usage:
 //
 //	puf-bench [-seed N] [-experiment all|E1..E12|A1|A2|A4|R1]
-//	puf-bench -json [-json-out BENCH_attacks.json]
+//	puf-bench -json [-count N] [-json-out BENCH_attacks.json]
+//	         [-baseline BENCH_attacks.json]
+//	puf-bench [...] -cpuprofile cpu.out -memprofile mem.out
 //
 // With -json the tool instead benchmarks the five end-to-end attacks
 // (the oracle-query hot path) via testing.Benchmark and writes a
 // machine-readable perf artifact — benchmark name → ns/op, allocs/op,
 // B/op and oracle-queries — so the repository accumulates a perf
-// trajectory across PRs instead of anecdotes.
+// trajectory across PRs instead of anecdotes. Each benchmark runs
+// -count times (default 5) and the artifact records per-field medians,
+// so a noisy neighbor on the measurement host cannot contaminate the
+// committed numbers. With -baseline the run additionally compares
+// against a committed artifact and exits nonzero when any attack's
+// allocs/op — deterministic, unlike ns/op — regresses by more than 2%;
+// ns/op deltas are reported but never gate.
+//
+// The -cpuprofile/-memprofile flags wrap either mode in a pprof capture
+// (`go tool pprof` reads the output), the profiling workflow the README
+// documents.
 package main
 
 import (
@@ -20,6 +32,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"testing"
 
 	"repro/internal/experiments"
@@ -30,14 +45,55 @@ func main() {
 	which := flag.String("experiment", "all", "experiment id (E1..E12, A1, A2, A4, R1) or 'all'")
 	jsonMode := flag.Bool("json", false, "benchmark the attack hot paths and write a JSON perf artifact")
 	jsonOut := flag.String("json-out", "BENCH_attacks.json", "output path of the -json artifact")
+	count := flag.Int("count", 5, "benchmark repetitions per attack; the artifact records medians")
+	baseline := flag.String("baseline", "", "committed artifact to compare against; >2% allocs/op regression fails")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	if *jsonMode {
-		if err := runJSONBench(*seed, *jsonOut); err != nil {
+	// All work runs inside run() so its deferred profile writers flush
+	// on EVERY exit path — a failing run is exactly when a profile is
+	// wanted; os.Exit happens only after run returns.
+	os.Exit(run(*seed, *which, *jsonOut, *baseline, *cpuProfile, *memProfile, *jsonMode, *count))
+}
+
+// run executes one puf-bench invocation and returns the process status.
+func run(seed uint64, which, jsonOut, baseline, cpuProfile, memProfile string, jsonMode bool, count int) int {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if memProfile == "" {
+			return
+		}
+		f, err := os.Create(memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		}
+	}()
+
+	if jsonMode {
+		if err := runJSONBench(seed, jsonOut, baseline, count); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	runners := []struct {
@@ -63,21 +119,22 @@ func main() {
 	}
 	ran := false
 	for _, r := range runners {
-		if *which != "all" && *which != r.id {
+		if which != "all" && which != r.id {
 			continue
 		}
 		ran = true
 		fmt.Printf("==== %s — %s ====\n", r.id, r.doc)
-		if err := r.fn(*seed); err != nil {
+		if err := r.fn(seed); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println()
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
+		return 2
 	}
+	return 0
 }
 
 func runE1(uint64) error {
@@ -276,10 +333,84 @@ type BenchRecord struct {
 	Iterations    int     `json:"iterations"`
 }
 
+// medianInt64 returns the median of xs (lower-middle for even counts),
+// sorting a copy.
+func medianInt64(xs []int64) int64 {
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
+// medianRecord reduces repeated measurements of one benchmark to their
+// per-field medians. The deterministic fields (allocs/op, oracle
+// queries) are identical across repetitions; the median protects the
+// timing-derived ones from scheduler noise on the measurement host.
+func medianRecord(recs []BenchRecord) BenchRecord {
+	ns := make([]int64, len(recs))
+	allocs := make([]int64, len(recs))
+	bytes := make([]int64, len(recs))
+	iters := make([]int64, len(recs))
+	for i, r := range recs {
+		ns[i], allocs[i], bytes[i], iters[i] = r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, int64(r.Iterations)
+	}
+	return BenchRecord{
+		NsPerOp:       medianInt64(ns),
+		AllocsPerOp:   medianInt64(allocs),
+		BytesPerOp:    medianInt64(bytes),
+		OracleQueries: recs[len(recs)-1].OracleQueries,
+		Iterations:    int(medianInt64(iters)),
+	}
+}
+
+// checkBaseline compares a fresh artifact against a committed one. Only
+// allocs/op gates (deterministic); ns/op deltas are reported for
+// context. The tolerance absorbs rounding from iteration-count changes.
+func checkBaseline(artifact map[string]BenchRecord, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base map[string]BenchRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressed := false
+	for _, name := range names {
+		b := base[name]
+		cur, ok := artifact[name]
+		if !ok {
+			fmt.Printf("%-18s MISSING from this run (baseline %d allocs/op)\n", name, b.AllocsPerOp)
+			regressed = true
+			continue
+		}
+		limit := float64(b.AllocsPerOp) * 1.02
+		status := "ok"
+		if float64(cur.AllocsPerOp) > limit {
+			status = "ALLOC REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("%-18s allocs/op %d -> %d (limit %.0f) %-17s ns/op %d -> %d (%+.1f%%, informational)\n",
+			name, b.AllocsPerOp, cur.AllocsPerOp, limit, status,
+			b.NsPerOp, cur.NsPerOp, 100*float64(cur.NsPerOp-b.NsPerOp)/float64(b.NsPerOp))
+	}
+	if regressed {
+		return fmt.Errorf("allocs/op regressed beyond 2%% of %s", path)
+	}
+	return nil
+}
+
 // runJSONBench measures the five end-to-end attacks with testing.Benchmark
 // and writes the artifact. Each closure reports the oracle-query count of
 // its last run as a custom metric, mirroring bench_test.go.
-func runJSONBench(seed uint64, out string) error {
+func runJSONBench(seed uint64, out, baseline string, count int) error {
+	if count < 1 {
+		count = 1
+	}
 	ctx := context.Background()
 	benches := []struct {
 		name string
@@ -338,22 +469,26 @@ func runJSONBench(seed uint64, out string) error {
 	}
 	artifact := make(map[string]BenchRecord, len(benches))
 	for _, bench := range benches {
-		res := testing.Benchmark(bench.fn)
-		if res.N == 0 {
-			// testing.Benchmark swallows b.Fatal; a zero-iteration
-			// result means the attack under measurement failed.
-			return fmt.Errorf("%s failed to complete a single iteration", bench.name)
+		recs := make([]BenchRecord, 0, count)
+		for c := 0; c < count; c++ {
+			res := testing.Benchmark(bench.fn)
+			if res.N == 0 {
+				// testing.Benchmark swallows b.Fatal; a zero-iteration
+				// result means the attack under measurement failed.
+				return fmt.Errorf("%s failed to complete a single iteration", bench.name)
+			}
+			recs = append(recs, BenchRecord{
+				NsPerOp:       res.NsPerOp(),
+				AllocsPerOp:   res.AllocsPerOp(),
+				BytesPerOp:    res.AllocedBytesPerOp(),
+				OracleQueries: res.Extra["oracle-queries"],
+				Iterations:    res.N,
+			})
 		}
-		rec := BenchRecord{
-			NsPerOp:       res.NsPerOp(),
-			AllocsPerOp:   res.AllocsPerOp(),
-			BytesPerOp:    res.AllocedBytesPerOp(),
-			OracleQueries: res.Extra["oracle-queries"],
-			Iterations:    res.N,
-		}
+		rec := medianRecord(recs)
 		artifact[bench.name] = rec
-		fmt.Printf("%-18s %12d ns/op %10d allocs/op %10d B/op %8.0f oracle-queries\n",
-			bench.name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp, rec.OracleQueries)
+		fmt.Printf("%-18s %12d ns/op %10d allocs/op %10d B/op %8.0f oracle-queries (median of %d)\n",
+			bench.name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp, rec.OracleQueries, count)
 	}
 	data, err := json.MarshalIndent(artifact, "", "  ")
 	if err != nil {
@@ -364,5 +499,8 @@ func runJSONBench(seed uint64, out string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", out)
+	if baseline != "" {
+		return checkBaseline(artifact, baseline)
+	}
 	return nil
 }

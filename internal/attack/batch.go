@@ -133,9 +133,10 @@ func (d Distinguisher) fixedBatched(ctx context.Context, bt *BatchTarget, testSe
 	return best, total, nil
 }
 
-// sprtArm runs one arm's SPRT to a decision on its private fork.
+// sprtArm runs one arm's SPRT to a decision on its private fork. The
+// test state lives on the arm's own stack.
 func (d Distinguisher) sprtArm(ctx context.Context, arm Arm, b *Budget) armResult {
-	s := stats.NewSPRT(d.P0, d.P1, d.Alpha, d.Beta)
+	s := stats.MakeSPRT(d.P0, d.P1, d.Alpha, d.Beta)
 	decision := stats.SPRTContinue
 	for decision == stats.SPRTContinue && s.N() < d.MaxQueries {
 		if err := queryGate(ctx, b); err != nil {

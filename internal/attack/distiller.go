@@ -14,6 +14,42 @@ import (
 	"repro/internal/rng"
 )
 
+// dsScratch carries the reusable buffers of one masking or chain Run:
+// hypothesis streams, padded/injected codewords, the crafted offset, a
+// cached block code + ECC workspace, and pooled per-arm offset blobs and
+// predicted keys (arms of one decision are alive simultaneously, so the
+// pools are indexed by arm). As in gbScratch, images are always fresh —
+// the adapters' caches key on image identity — while blobs may be pooled
+// because an arm's image is never re-installed after its decision.
+type dsScratch struct {
+	stream    bitvec.Vector
+	injected  bitvec.Vector
+	padded    bitvec.Vector
+	msg       bitvec.Vector
+	offsetW   bitvec.Vector
+	needBlk   []bool
+	selected  []int
+	predicted []bool
+	polyBeta  []float64
+	offBlob   [][]byte
+	predKey   []bitvec.Vector
+	blocks    int
+	block     *ecc.Block
+	ws        ecc.Workspace
+	// chain-only buffers.
+	unknownIdx []int
+	determined []bool
+	arms       []Hypothesis
+}
+
+// armSlot grows the per-arm pools to cover arm index i.
+func (sc *dsScratch) armSlot(i int) {
+	for len(sc.offBlob) <= i {
+		sc.offBlob = append(sc.offBlob, nil)
+		sc.predKey = append(sc.predKey, bitvec.Vector{})
+	}
+}
+
 func init() {
 	Register(maskingAttack{})
 	Register(chainAttack{})
@@ -99,8 +135,9 @@ func (a maskingAttack) Run(ctx context.Context, t Target, opts Options) (Report,
 			usable, origMask.K, len(base))
 	}
 	bits := make([]bool, len(base))
+	var sc dsScratch
 	for target := 0; target < usable; target++ {
-		bit, err := decideMaskedPairBit(ctx, t, spec, origPoly, origMask.K, base, opts, src, budget, target)
+		bit, err := decideMaskedPairBit(ctx, t, spec, origPoly, origMask.K, base, opts, src, budget, &sc, target)
 		if err != nil {
 			return Report{}, fmt.Errorf("attack: base pair %d: %w", target, err)
 		}
@@ -127,7 +164,7 @@ func (a maskingAttack) Run(ctx context.Context, t Target, opts Options) (Report,
 // decideMaskedPairBit isolates one base pair and recovers its residual
 // sign bit. The pattern superimposes onto the ORIGINAL enrollment
 // polynomial (not whatever a previous arm left in NVM).
-func decideMaskedPairBit(ctx context.Context, t Target, spec Spec, origPoly distiller.Poly2D, k int, base []pairing.Pair, opts Options, src *rng.Source, budget *Budget, target int) (bool, error) {
+func decideMaskedPairBit(ctx context.Context, t Target, spec Spec, origPoly distiller.Poly2D, k int, base []pairing.Pair, opts Options, src *rng.Source, budget *Budget, sc *dsScratch, target int) (bool, error) {
 	pos := func(ro int) (int, int) { return ro % spec.Cols, ro / spec.Cols }
 	tp := base[target]
 	pattern := valleyForPair(pos, tp, opts)
@@ -142,8 +179,8 @@ func decideMaskedPairBit(ctx context.Context, t Target, spec Spec, origPoly dist
 	// pattern separation (a fully determined bit).
 	groups := len(base) / k
 	targetGroup := target / k
-	selected := make([]int, groups)
-	predicted := make([]bool, groups)
+	selected := resizeInts(&sc.selected, groups)
+	predicted := resizeBools(&sc.predicted, groups)
 	for g := 0; g < groups; g++ {
 		if g == targetGroup {
 			selected[g] = target % k
@@ -166,13 +203,16 @@ func decideMaskedPairBit(ctx context.Context, t Target, spec Spec, origPoly dist
 		predicted[g] = pval(pr.A) < pval(pr.B)
 	}
 
-	// Add already returns a fresh superposition; cloning its input first
-	// would only double the copy.
-	poly := origPoly.Add(pattern)
+	// The superposition reuses the scratch coefficient buffer; its blob
+	// and the masking blob are shared by both arm images.
+	poly := origPoly.AddInto(pattern, sc.polyBeta)
+	sc.polyBeta = poly.Beta
 	mask := pairing.MaskingHelper{K: k, Selected: selected}
+	polyBlob := poly.Marshal()
+	maskBlob := mask.Marshal()
 
-	makeArm := func(hypBit bool) (Hypothesis, error) {
-		stream := bitvec.New(groups)
+	makeArm := func(hyp int, hypBit bool) (Hypothesis, error) {
+		stream := scratchVec(&sc.stream, groups)
 		for g := 0; g < groups; g++ {
 			if g == targetGroup {
 				stream.Set(g, hypBit)
@@ -180,21 +220,21 @@ func decideMaskedPairBit(ctx context.Context, t Target, spec Spec, origPoly dist
 				stream.Set(g, predicted[g])
 			}
 		}
-		offset, predKey, err := offsetWithInjection(stream, targetGroup, spec.Code, opts, src, nil)
+		offBlob, predKey, err := sc.offsetWithInjection(hyp, stream, targetGroup, spec.Code, opts, src, nil)
 		if err != nil {
 			return nil, err
 		}
-		im, err := DistillerImage(poly, &mask, offset)
-		if err != nil {
-			return nil, err
-		}
+		im := helperdata.NewImage()
+		im.SetOwned(helperdata.SectionPolynomial, polyBlob)
+		im.SetOwned(helperdata.SectionMasking, maskBlob)
+		im.SetOwned(helperdata.SectionOffset, offBlob)
 		return bindingHypothesis(im, predKey), nil
 	}
-	arm0, err := makeArm(false)
+	arm0, err := makeArm(0, false)
 	if err != nil {
 		return false, err
 	}
-	arm1, err := makeArm(true)
+	arm1, err := makeArm(1, true)
 	if err != nil {
 		return false, err
 	}
@@ -291,6 +331,7 @@ func (a chainAttack) Run(ctx context.Context, t Target, opts Options) (Report, e
 	}
 
 	tr.phase("boundaries")
+	var sc dsScratch
 	for bi, bd := range bounds {
 		var pattern distiller.Poly2D
 		if bd.vertical {
@@ -303,9 +344,12 @@ func (a chainAttack) Run(ctx context.Context, t Target, opts Options) (Report, e
 			return pattern.Eval(float64(x), float64(y))
 		}
 		// Classify chain pairs: determined (predicted) vs undetermined.
-		var unknownIdx []int
-		predicted := make([]bool, len(base))
-		determined := make([]bool, len(base))
+		unknownIdx := sc.unknownIdx[:0]
+		predicted := resizeBools(&sc.predicted, len(base))
+		determined := resizeBools(&sc.determined, len(base))
+		for i := range determined {
+			determined[i] = false
+		}
 		for i, pr := range base {
 			sep := pval(pr.A) - pval(pr.B)
 			if math.Abs(sep) > 1 {
@@ -315,6 +359,7 @@ func (a chainAttack) Run(ctx context.Context, t Target, opts Options) (Report, e
 				unknownIdx = append(unknownIdx, i)
 			}
 		}
+		sc.unknownIdx = unknownIdx
 		if len(unknownIdx) == 0 {
 			continue
 		}
@@ -325,12 +370,14 @@ func (a chainAttack) Run(ctx context.Context, t Target, opts Options) (Report, e
 			maxHyp = h
 		}
 
-		// Add already returns a fresh superposition; cloning its input first
-		// would only double the copy.
-		poly := origPoly.Add(pattern)
-		arms := make([]Hypothesis, 0, 1<<len(unknownIdx))
+		// The superposition reuses the scratch coefficient buffer; its
+		// blob is shared by every arm image of this boundary.
+		poly := origPoly.AddInto(pattern, sc.polyBeta)
+		sc.polyBeta = poly.Beta
+		polyBlob := poly.Marshal()
+		arms := sc.arms[:0]
 		for hyp := 0; hyp < 1<<len(unknownIdx); hyp++ {
-			stream := bitvec.New(len(base))
+			stream := scratchVec(&sc.stream, len(base))
 			for i := range base {
 				switch {
 				case determined[i]:
@@ -344,16 +391,16 @@ func (a chainAttack) Run(ctx context.Context, t Target, opts Options) (Report, e
 					stream.Set(i, known[i])
 				}
 			}
-			offset, predKey, err := offsetWithInjection(stream, unknownIdx[0], spec.Code, opts, src, unknownIdx)
+			offBlob, predKey, err := sc.offsetWithInjection(hyp, stream, unknownIdx[0], spec.Code, opts, src, unknownIdx)
 			if err != nil {
 				return Report{}, err
 			}
-			im, err := DistillerImage(poly, nil, offset)
-			if err != nil {
-				return Report{}, err
-			}
+			im := helperdata.NewImage()
+			im.SetOwned(helperdata.SectionPolynomial, polyBlob)
+			im.SetOwned(helperdata.SectionOffset, offBlob)
 			arms = append(arms, bindingHypothesis(im, predKey))
 		}
+		sc.arms = arms
 		best, _, err := opts.Dist.BestHypotheses(ctx, t, arms, budget)
 		if err != nil {
 			return Report{}, err
@@ -387,48 +434,73 @@ func (a chainAttack) Run(ctx context.Context, t Target, opts Options) (Report, e
 // offsetWithInjection builds the code-offset helper binding the predicted
 // stream with the common error offset folded into every ECC block that
 // contains a hypothesis bit (or block 0 when hypBits is nil, meaning the
-// single hypothesis bit sits at position targetPos). It also returns the
-// key the attacker predicts the device will regenerate.
-func offsetWithInjection(stream bitvec.Vector, targetPos int, code ecc.Code, opts Options, src *rng.Source, hypBits []int) (bitvec.Vector, bitvec.Vector, error) {
+// single hypothesis bit sits at position targetPos). It returns the
+// marshaled offset blob (pooled per arm, ready for SetOwned) and the key
+// the attacker predicts the device will regenerate (pooled per arm;
+// targets copy at BindKey). The legacy version iterated the needed
+// blocks in map order — per-block injections are disjoint, so the
+// ascending order here is observably identical.
+func (sc *dsScratch) offsetWithInjection(arm int, stream bitvec.Vector, targetPos int, code ecc.Code, opts Options, src *rng.Source, hypBits []int) ([]byte, bitvec.Vector, error) {
 	n := code.N()
 	blocks := (stream.Len() + n - 1) / n
 	if blocks == 0 {
 		blocks = 1
 	}
-	padded := stream.Concat(bitvec.New(blocks*n - stream.Len()))
+	padded := scratchVec(&sc.padded, blocks*n)
+	padded.Zero()
+	padded.PutAt(0, stream)
 
 	// Blocks needing the offset.
-	need := map[int]bool{targetPos / n: true}
-	for _, hb := range hypBits {
-		need[hb/n] = true
+	needBlk := resizeBools(&sc.needBlk, blocks)
+	for i := range needBlk {
+		needBlk[i] = false
 	}
-	avoid := map[int]bool{targetPos: true}
+	needBlk[targetPos/n] = true
 	for _, hb := range hypBits {
-		avoid[hb] = true
+		needBlk[hb/n] = true
 	}
-	injected := padded.Clone()
-	for blk := range need {
+	avoid := func(pos int) bool { return pos == targetPos || slices.Contains(hypBits, pos) }
+	injected := scratchVec(&sc.injected, padded.Len())
+	padded.CopyInto(injected)
+	for blk := 0; blk < blocks; blk++ {
+		if !needBlk[blk] {
+			continue
+		}
 		count := 0
 		for pos := blk * n; pos < (blk+1)*n && pos < stream.Len() && count < opts.InjectErrors; pos++ {
-			if avoid[pos] {
+			if avoid(pos) {
 				continue
 			}
 			injected.Flip(pos)
 			count++
 		}
 		if count < opts.InjectErrors {
-			return bitvec.Vector{}, bitvec.Vector{}, fmt.Errorf("attack: block %d lacks injectable bits", blk)
+			return nil, bitvec.Vector{}, fmt.Errorf("attack: block %d lacks injectable bits", blk)
 		}
 	}
-	blockCode := ecc.NewBlock(code, blocks)
-	msg := bitvec.New(blockCode.K())
+	if sc.block == nil || sc.blocks != blocks {
+		sc.block = ecc.NewBlock(code, blocks)
+		sc.blocks = blocks
+	}
+	msg := scratchVec(&sc.msg, sc.block.K())
 	for i := 0; i < msg.Len(); i++ {
 		msg.Set(i, src.Bool())
 	}
-	offset := ecc.OffsetFor(blockCode, injected, msg)
+	offsetW := scratchVec(&sc.offsetW, padded.Len())
+	ecc.OffsetForInto(sc.block, injected, msg, &sc.ws, offsetW)
+	sc.armSlot(arm)
+	blob, err := offsetW.AppendBinary(sc.offBlob[arm][:0])
+	if err != nil {
+		return nil, bitvec.Vector{}, err
+	}
+	sc.offBlob[arm] = blob
 	// The device's recovered response is the stream the offset binds —
 	// the INJECTED one — so that is the key the attacker predicts.
-	return offset.W, injected.Slice(0, stream.Len()), nil
+	if sc.predKey[arm].Len() != stream.Len() {
+		sc.predKey[arm] = bitvec.New(stream.Len())
+	}
+	injected.SliceInto(0, stream.Len(), sc.predKey[arm])
+	return blob, sc.predKey[arm], nil
 }
 
 // valleyForPair builds the Fig. 6b pattern for one target pair: a

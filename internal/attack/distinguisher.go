@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"repro/internal/stats"
 )
 
 // This file is the statistical heart the four attacks share (the paper's
@@ -176,16 +178,84 @@ func (d Distinguisher) fixedBest(ctx context.Context, arms []Arm, b *Budget) (in
 // pipelines the arms concurrently over forked oracles (bit-identical at
 // any worker count); against any other target it runs the exact serial
 // transcript of BestContext, installing each hypothesis before every
-// query, so in-process results match the legacy closure-based path.
+// query, so in-process results match the legacy closure-based path. The
+// serial path evaluates hypotheses directly rather than binding them
+// into Arm closures: attacks run one call per recovered key bit, so the
+// per-decision closure churn matters.
 func (d Distinguisher) BestHypotheses(ctx context.Context, t Target, hyps []Hypothesis, b *Budget) (best, queries int, err error) {
 	if bt, ok := t.(*BatchTarget); ok && len(hyps) > 1 {
 		return d.bestBatched(ctx, bt, hyps, b)
 	}
-	arms := make([]Arm, len(hyps))
-	for i, h := range hyps {
-		arms[i] = bindArm(t, h)
+	if len(hyps) == 0 {
+		return -1, 0, nil
 	}
-	return d.BestContext(ctx, arms, b)
+	d = d.normalized()
+	if len(hyps) == 1 {
+		return 0, 0, nil
+	}
+	if d.Strategy == Sequential {
+		total := 0
+		for i := range hyps {
+			r := d.sprtHyp(ctx, t, hyps[i], b)
+			total += r.n
+			if r.err != nil {
+				return -1, total, r.err
+			}
+			if r.accepted {
+				return i, total, nil
+			}
+		}
+		// No arm accepted at the nominal rate: fall back.
+		best, extra, err := d.fixedBestHyp(ctx, t, hyps, b)
+		return best, total + extra, err
+	}
+	return d.fixedBestHyp(ctx, t, hyps, b)
+}
+
+// observe installs a hypothesis and performs one oracle query. An
+// install failure counts as an observed failure, matching bindArm (a
+// helper the device rejects can never look nominal).
+func observe(t Target, h Hypothesis) bool {
+	if err := h(t); err != nil {
+		return true
+	}
+	return t.Query()
+}
+
+// sprtHyp is sprtArm evaluating a hypothesis in place, without an Arm
+// closure.
+func (d Distinguisher) sprtHyp(ctx context.Context, t Target, h Hypothesis, b *Budget) armResult {
+	s := stats.MakeSPRT(d.P0, d.P1, d.Alpha, d.Beta)
+	decision := stats.SPRTContinue
+	for decision == stats.SPRTContinue && s.N() < d.MaxQueries {
+		if err := queryGate(ctx, b); err != nil {
+			return armResult{n: s.N(), err: err}
+		}
+		decision = s.Observe(observe(t, h))
+	}
+	return armResult{accepted: decision == stats.SPRTAcceptH0, n: s.N()}
+}
+
+// fixedBestHyp is fixedBest evaluating hypotheses in place.
+func (d Distinguisher) fixedBestHyp(ctx context.Context, t Target, hyps []Hypothesis, b *Budget) (int, int, error) {
+	best, bestFails := 0, int(^uint(0)>>1)
+	total := 0
+	for i := range hyps {
+		fails := 0
+		for q := 0; q < d.Queries; q++ {
+			if err := queryGate(ctx, b); err != nil {
+				return -1, total + q, err
+			}
+			if observe(t, hyps[i]) {
+				fails++
+			}
+		}
+		total += d.Queries
+		if fails < bestFails {
+			best, bestFails = i, fails
+		}
+	}
+	return best, total, nil
 }
 
 // bindArm fixes a hypothesis to a concrete oracle. An install failure

@@ -1,14 +1,16 @@
 package attack
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/bitvec"
 	"repro/internal/distiller"
 	"repro/internal/ecc"
 	"repro/internal/groupbased"
+	"repro/internal/helperdata"
 	"repro/internal/perm"
 	"repro/internal/rng"
 )
@@ -91,11 +93,12 @@ func (a groupBasedAttack) Run(ctx context.Context, t Target, opts Options) (Repo
 	// rel[a][b] = true when residual(b) > residual(a); keyed a < b.
 	rel := make(map[[2]int]bool)
 	done := 0
+	var sc gbScratch
 	for _, group := range members {
 		for i := 0; i < len(group); i++ {
 			for j := i + 1; j < len(group); j++ {
 				a, b := group[i], group[j]
-				bit, err := decidePairOrder(ctx, t, spec, original, opts, src, budget, a, b)
+				bit, err := decidePairOrder(ctx, t, spec, original, opts, src, budget, &sc, a, b)
 				if err != nil {
 					return Report{}, fmt.Errorf("attack: pair (%d,%d): %w", a, b, err)
 				}
@@ -172,46 +175,115 @@ func (a groupBasedAttack) Run(ctx context.Context, t Target, opts Options) (Repo
 	return rep, nil
 }
 
+// gbScratch carries the reusable buffers of one groupbased Run. Every
+// pair decision rebuilds the same shapes of intermediate state —
+// partition, hypothesis streams, padded codewords, crafted offsets,
+// marshaled blobs — so the run allocates them once and the steady-state
+// pair loop reuses them. Hypothesis images are the exception: the
+// adapters' write/parse caches key on image identity, so every arm gets
+// a fresh Image. Its blobs may still come from the pools below, because
+// an arm's image is never re-installed after its pair's decision — the
+// invariant that makes blob reuse safe.
+type gbScratch struct {
+	levels    []int
+	ros       []int
+	classes   []gbClass
+	assign    []int
+	predicted []bool
+	polyBeta  []float64
+	stream    bitvec.Vector
+	injected  bitvec.Vector
+	padded    bitvec.Vector
+	msg       bitvec.Vector
+	offsetW   bitvec.Vector
+	predKey   [2]bitvec.Vector
+	offBlob   [2][]byte
+	blocks    int
+	block     *ecc.Block
+	ws        ecc.Workspace
+	perm      perm.Scratch
+}
+
+// gbClass is one level class of the rainbow matching.
+type gbClass struct {
+	level int
+	ros   []int
+}
+
+// vec returns *v resized to n bits, reallocating only on length change.
+// Contents are unspecified; callers overwrite the buffer fully.
+func scratchVec(v *bitvec.Vector, n int) bitvec.Vector {
+	if v.Len() != n {
+		*v = bitvec.New(n)
+	}
+	return *v
+}
+
+// resizeInts returns *buf resized to n elements, reallocating only on
+// growth. Contents are unspecified.
+func resizeInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// resizeBools is resizeInts for boolean flags.
+func resizeBools(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // decidePairOrder recovers [residual(b) > residual(a)] for one target
 // pair via the two-hypothesis helper manipulation.
-func decidePairOrder(ctx context.Context, t Target, spec Spec, original groupbased.Helper, opts Options, src *rng.Source, budget *Budget, a, b int) (bool, error) {
+func decidePairOrder(ctx context.Context, t Target, spec Spec, original groupbased.Helper, opts Options, src *rng.Source, budget *Budget, sc *gbScratch, a, b int) (bool, error) {
 	cols, rows := spec.Cols, spec.Rows
 	n := rows * cols
 	xa, ya := a%cols, a/cols
 	xb, yb := b%cols, b/cols
 
-	pattern, levels := levelPlane(cols, rows, xa, ya, xb, yb, opts.PatternAmpMHz)
-	groups, predicted := designPartition(n, a, b, levels)
+	pattern, levels := levelPlane(sc, cols, rows, xa, ya, xb, yb, opts.PatternAmpMHz)
+	designPartition(sc, n, a, b, levels)
 
-	grouping, err := groupbased.PairsToGrouping(n, groups)
-	if err != nil {
-		return false, err
-	}
-	// Add returns a fresh superposition, so the original enrollment
-	// polynomial needs no defensive copy per hypothesis pair.
-	poly := original.Poly.Add(pattern)
+	// The partition covers every oscillator exactly once by
+	// construction, so the legacy PairsToGrouping validation cannot
+	// fire; the grouping borrows the scratch assignment directly.
+	grouping := groupbased.Grouping{Assign: sc.assign}
+	// The superposition reuses the scratch coefficient buffer; the
+	// original enrollment polynomial is only read.
+	poly := original.Poly.AddInto(pattern, sc.polyBeta)
+	sc.polyBeta = poly.Beta
 
 	// Build the predicted Kendall stream. Group 0 is the target pair,
 	// its bit is the hypothesis; groups follow in id order, one bit per
-	// two-member group, no bits for singletons.
+	// two-member group, no bits for singletons. The polynomial and
+	// grouping blobs are shared by both arm images (read-only once set).
 	streamLen := groupbased.StreamLen(&grouping)
-	makeArm := func(hypBit bool) (Hypothesis, error) {
-		stream := bitvec.New(streamLen)
+	members := grouping.Members()
+	polyBlob := poly.Marshal()
+	groupBlob := grouping.Marshal()
+	makeArm := func(hyp int, hypBit bool) (Hypothesis, error) {
+		stream := scratchVec(&sc.stream, streamLen)
 		at := 0
-		for id, g := range grouping.Members() {
+		for id, g := range members {
 			if len(g) < 2 {
 				continue
 			}
 			if id == 0 {
 				stream.Set(at, hypBit)
 			} else {
-				stream.Set(at, predicted[id])
+				stream.Set(at, sc.predicted[id])
 			}
 			at++
 		}
 		// Common offset: flip InjectErrors forced bits inside the
 		// target bit's ECC block (positions 1.. within block 0).
-		injected := stream.Clone()
+		injected := scratchVec(&sc.injected, streamLen)
+		stream.CopyInto(injected)
 		count := 0
 		for pos := 1; pos < min(spec.Code.N(), streamLen) && count < opts.InjectErrors; pos++ {
 			injected.Flip(pos)
@@ -220,45 +292,53 @@ func decidePairOrder(ctx context.Context, t Target, spec Spec, original groupbas
 		if count < opts.InjectErrors {
 			return nil, fmt.Errorf("attack: only %d injectable bits in block", count)
 		}
-		padded := injected.Concat(bitvec.New(paddedLen(streamLen, spec.Code) - streamLen))
-		blocks := padded.Len() / spec.Code.N()
-		block := ecc.NewBlock(spec.Code, blocks)
-		msg := bitvec.New(block.K())
+		padLen := paddedLen(streamLen, spec.Code)
+		padded := scratchVec(&sc.padded, padLen)
+		padded.Zero()
+		padded.PutAt(0, injected)
+		blocks := padLen / spec.Code.N()
+		if sc.block == nil || sc.blocks != blocks {
+			sc.block = ecc.NewBlock(spec.Code, blocks)
+			sc.blocks = blocks
+		}
+		msg := scratchVec(&sc.msg, sc.block.K())
 		for i := 0; i < msg.Len(); i++ {
 			msg.Set(i, src.Bool())
 		}
-		offset := ecc.OffsetFor(block, padded, msg)
+		offsetW := scratchVec(&sc.offsetW, padLen)
+		ecc.OffsetForInto(sc.block, padded, msg, &sc.ws, offsetW)
 
 		// The application key the attacker predicts for this arm: the
 		// code-offset recovers the stream the offset was GENERATED for,
 		// i.e. the injected stream — the device's key is its packing.
 		// (All attacker groups have at most two members, so any bit
 		// pattern is a valid Kendall coding and packing cannot fail.)
-		predKey, err := groupbased.PackKey(&grouping, padded)
+		// Targets copy the key at BindKey, so the per-arm buffer can be
+		// reused across pairs.
+		keyLen := groupbased.KeyLen(&grouping)
+		if sc.predKey[hyp].Len() != keyLen {
+			sc.predKey[hyp] = bitvec.New(keyLen)
+		}
+		if err := groupbased.PackKeyInto(&grouping, padded, &sc.perm, sc.predKey[hyp]); err != nil {
+			return nil, err
+		}
+		blob, err := offsetW.AppendBinary(sc.offBlob[hyp][:0])
 		if err != nil {
 			return nil, err
 		}
-		im, err := GroupBasedImage(groupbased.Helper{Poly: poly, Grouping: grouping, Offset: offset.W})
-		if err != nil {
-			return nil, err
-		}
-		return func(t Target) error {
-			if err := t.WriteImage(im); err != nil {
-				return err
-			}
-			if kb, ok := t.(KeyBinder); ok {
-				kb.BindKey(predKey)
-				return nil
-			}
-			return fmt.Errorf("attack: target %T cannot bind keys", t)
-		}, nil
+		sc.offBlob[hyp] = blob
+		im := helperdata.NewImage()
+		im.SetOwned(helperdata.SectionPolynomial, polyBlob)
+		im.SetOwned(helperdata.SectionGrouping, groupBlob)
+		im.SetOwned(helperdata.SectionOffset, blob)
+		return bindingHypothesis(im, sc.predKey[hyp]), nil
 	}
 
-	arm0, err := makeArm(false)
+	arm0, err := makeArm(0, false)
 	if err != nil {
 		return false, err
 	}
-	arm1, err := makeArm(true)
+	arm1, err := makeArm(1, true)
 	if err != nil {
 		return false, err
 	}
@@ -274,11 +354,12 @@ func decidePairOrder(ctx context.Context, t Target, spec Spec, original groupbas
 
 // levelPlane returns the steep plane whose level lines pass through both
 // targets, together with the integer level key of every oscillator
-// (equal keys = equal pattern values, exactly).
-func levelPlane(cols, rows, xa, ya, xb, yb int, amp float64) (distiller.Poly2D, []int) {
+// (equal keys = equal pattern values, exactly). The level slice lives in
+// the run scratch.
+func levelPlane(sc *gbScratch, cols, rows, xa, ya, xb, yb int, amp float64) (distiller.Poly2D, []int) {
 	pattern := distiller.PerpendicularPlane(xa, ya, xb, yb, amp)
 	nx, ny := -(yb - ya), xb-xa
-	levels := make([]int, rows*cols)
+	levels := resizeInts(&sc.levels, rows*cols)
 	for i := range levels {
 		x, y := i%cols, i/cols
 		levels[i] = nx*x + ny*y
@@ -286,74 +367,77 @@ func levelPlane(cols, rows, xa, ya, xb, yb int, amp float64) (distiller.Poly2D, 
 	return pattern, levels
 }
 
-// designPartition builds the attacker's group list: group 0 is the target
-// pair; remaining oscillators are paired across DISTINCT level lines so
-// every forced pair's order is dominated by the pattern; oscillators left
-// over become singletons. predicted[id] gives the forced Kendall bit of
-// two-member group id: with labels ordered by ascending RO index, the bit
-// is 1 when the higher-index member has the LOWER pattern level (its
-// distilled residual is larger).
-func designPartition(n, a, b int, levels []int) (groups [][]int, predicted map[int]bool) {
-	groups = [][]int{{a, b}}
-	predicted = map[int]bool{}
+// designPartition builds the attacker's partition straight into the run
+// scratch: group 0 is the target pair; remaining oscillators are paired
+// across DISTINCT level lines so every forced pair's order is dominated
+// by the pattern; oscillators left over become singletons. The group ids
+// land in sc.assign and sc.predicted[id] gives the forced Kendall bit of
+// two-member group id: with labels ordered by ascending RO index, the
+// bit is 1 when the higher-index member has the LOWER pattern level (its
+// distilled residual is larger). Ids are issued in the same order as the
+// legacy group-list construction, so the partition is bit-identical.
+func designPartition(sc *gbScratch, n, a, b int, levels []int) {
+	assign := resizeInts(&sc.assign, n)
+	// predicted[id] is written for every two-member group id before it
+	// is read, so stale entries from the previous pair are never seen.
+	predicted := resizeBools(&sc.predicted, n)
+	assign[a], assign[b] = 0, 0
 
 	// Bucket the remaining oscillators by level: one stable sort over
 	// (level, ascending index) yields the same per-level lists as a
 	// map of appends, without the per-call map churn of this inner-loop
 	// helper (one call per recovered key bit decision).
-	ros := make([]int, 0, n-2)
+	ros := sc.ros[:0]
 	for i := 0; i < n; i++ {
 		if i != a && i != b {
 			ros = append(ros, i)
 		}
 	}
-	sort.SliceStable(ros, func(x, y int) bool { return levels[ros[x]] < levels[ros[y]] })
+	sc.ros = ros
+	slices.SortStableFunc(ros, func(x, y int) int { return cmp.Compare(levels[x], levels[y]) })
 
 	// Repeatedly pair one member from the two currently largest level
 	// classes; this admits a perfect rainbow matching whenever no class
 	// holds more than half the remainder, and gracefully leaves
 	// singletons otherwise.
-	type class struct {
-		level int
-		ros   []int
-	}
-	classes := make([]*class, 0, 8)
+	classes := sc.classes[:0]
 	for at := 0; at < len(ros); {
 		lvl := levels[ros[at]]
 		end := at
 		for end < len(ros) && levels[ros[end]] == lvl {
 			end++
 		}
-		classes = append(classes, &class{level: lvl, ros: ros[at:end:end]})
+		classes = append(classes, gbClass{level: lvl, ros: ros[at:end:end]})
 		at = end
 	}
+	sc.classes = classes
 	largestTwo := func() (int, int) {
 		i1, i2 := -1, -1
-		for i, c := range classes {
-			if len(c.ros) == 0 {
+		for i := range classes {
+			if len(classes[i].ros) == 0 {
 				continue
 			}
-			if i1 == -1 || len(c.ros) > len(classes[i1].ros) {
+			if i1 == -1 || len(classes[i].ros) > len(classes[i1].ros) {
 				i2 = i1
 				i1 = i
-			} else if i2 == -1 || len(c.ros) > len(classes[i2].ros) {
+			} else if i2 == -1 || len(classes[i].ros) > len(classes[i2].ros) {
 				i2 = i
 			}
 		}
 		return i1, i2
 	}
+	id := 1
 	for {
 		i1, i2 := largestTwo()
 		if i1 == -1 || i2 == -1 {
 			break
 		}
-		c1, c2 := classes[i1], classes[i2]
+		c1, c2 := &classes[i1], &classes[i2]
 		ro1 := c1.ros[len(c1.ros)-1]
 		ro2 := c2.ros[len(c2.ros)-1]
 		c1.ros = c1.ros[:len(c1.ros)-1]
 		c2.ros = c2.ros[:len(c2.ros)-1]
-		id := len(groups)
-		groups = append(groups, []int{ro1, ro2})
+		assign[ro1], assign[ro2] = id, id
 		// Canonical label order is ascending RO index; label B (the
 		// higher index) precedes when its pattern value is lower.
 		low, high := ro1, ro2
@@ -361,14 +445,15 @@ func designPartition(n, a, b int, levels []int) (groups [][]int, predicted map[i
 			low, high = high, low
 		}
 		predicted[id] = levels[high] < levels[low]
+		id++
 	}
 	// Leftovers become singleton groups.
-	for _, c := range classes {
-		for _, ro := range c.ros {
-			groups = append(groups, []int{ro})
+	for ci := range classes {
+		for _, ro := range classes[ci].ros {
+			assign[ro] = id
+			id++
 		}
 	}
-	return groups, predicted
 }
 
 // orderFromRelations reconstructs a group's descending order (in label

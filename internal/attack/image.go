@@ -38,12 +38,15 @@ func offsetFromImage(im *helperdata.Image) (bitvec.Vector, error) {
 	return bitvec.UnmarshalVector(data)
 }
 
+// setOffset marshals the offset into a fresh blob the image takes
+// ownership of (every composer below feeds SetOwned only blobs it just
+// allocated, so no copy is needed).
 func setOffset(im *helperdata.Image, offset bitvec.Vector) error {
 	data, err := offset.MarshalBinary()
 	if err != nil {
 		return err
 	}
-	im.Set(helperdata.SectionOffset, data)
+	im.SetOwned(helperdata.SectionOffset, data)
 	return nil
 }
 
@@ -53,7 +56,7 @@ func setOffset(im *helperdata.Image, offset bitvec.Vector) error {
 // and the code-offset redundancy.
 func SeqPairImage(pairs pairing.SeqPairHelper, offset bitvec.Vector) (*helperdata.Image, error) {
 	im := helperdata.NewImage()
-	im.Set(helperdata.SectionSeqPairs, pairs.Marshal())
+	im.SetOwned(helperdata.SectionSeqPairs, pairs.Marshal())
 	if err := setOffset(im, offset); err != nil {
 		return nil, err
 	}
@@ -83,7 +86,7 @@ func SeqPairFromImage(im *helperdata.Image) (pairing.SeqPairHelper, bitvec.Vecto
 // tempco codec serializes pair records and offset as one blob.
 func TempCoImage(h tempco.Helper) (*helperdata.Image, error) {
 	im := helperdata.NewImage()
-	im.Set(helperdata.SectionTempCo, h.Marshal())
+	im.SetOwned(helperdata.SectionTempCo, h.Marshal())
 	return im, nil
 }
 
@@ -102,8 +105,8 @@ func TempCoFromImage(im *helperdata.Image) (tempco.Helper, error) {
 // polynomial, group assignment, and code-offset redundancy.
 func GroupBasedImage(h groupbased.Helper) (*helperdata.Image, error) {
 	im := helperdata.NewImage()
-	im.Set(helperdata.SectionPolynomial, h.Poly.Marshal())
-	im.Set(helperdata.SectionGrouping, h.Grouping.Marshal())
+	im.SetOwned(helperdata.SectionPolynomial, h.Poly.Marshal())
+	im.SetOwned(helperdata.SectionGrouping, h.Grouping.Marshal())
 	if err := setOffset(im, h.Offset); err != nil {
 		return nil, err
 	}
@@ -136,9 +139,9 @@ func GroupBasedFromImage(im *helperdata.Image) (groupbased.Helper, error) {
 // mask is nil in overlapping-chain mode (no masking section).
 func DistillerImage(poly distiller.Poly2D, mask *pairing.MaskingHelper, offset bitvec.Vector) (*helperdata.Image, error) {
 	im := helperdata.NewImage()
-	im.Set(helperdata.SectionPolynomial, poly.Marshal())
+	im.SetOwned(helperdata.SectionPolynomial, poly.Marshal())
 	if mask != nil {
-		im.Set(helperdata.SectionMasking, mask.Marshal())
+		im.SetOwned(helperdata.SectionMasking, mask.Marshal())
 	}
 	if err := setOffset(im, offset); err != nil {
 		return nil, err

@@ -78,16 +78,18 @@ func (a seqPairAttack) Run(ctx context.Context, t Target, opts Options) (Report,
 	// imageWith derives a helper image from the original by swapping the
 	// within-pair order at positions `invert` and swapping the list
 	// positions of pairs a and b (a == b means no position swap). Every
-	// arm of the sweep shares the untouched offset blob, marshaled once.
+	// arm of the sweep shares the untouched offset blob, marshaled once;
+	// the pair list is marshaled into buf (appended from its start), so
+	// the relation sweep can pool one buffer for its transient swap arms.
 	offsetBytes, err := origOffset.MarshalBinary()
 	if err != nil {
 		return Report{}, err
 	}
-	imageWith := func(invert []int, a, b int) *helperdata.Image {
+	imageWith := func(buf []byte, invert []int, a, b int) (*helperdata.Image, []byte) {
 		// Marshal the manipulated pair list directly (same wire format
 		// as SeqPairHelper.Marshal), applying the swaps on the fly
 		// instead of cloning the list first.
-		buf := binary.LittleEndian.AppendUint16(make([]byte, 0, 2+4*m), uint16(m))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(m))
 		for idx := 0; idx < m; idx++ {
 			src := idx
 			if a != b {
@@ -107,13 +109,13 @@ func (a seqPairAttack) Run(ctx context.Context, t Target, opts Options) (Report,
 		im := helperdata.NewImage()
 		im.SetOwned(helperdata.SectionSeqPairs, buf)
 		im.SetOwned(helperdata.SectionOffset, offsetBytes)
-		return im
+		return im, buf
 	}
 	// The image is built once per arm, outside the install closure, so
 	// re-installs across an arm's query run hit the adapters' identical-
 	// image write cache instead of re-marshaling and re-parsing the NVM.
 	install := func(invert []int, a, b int) Hypothesis {
-		im := imageWith(invert, a, b)
+		im, _ := imageWith(make([]byte, 0, 2+4*m), invert, a, b)
 		return func(t Target) error {
 			return t.WriteImage(im)
 		}
@@ -135,24 +137,25 @@ func (a seqPairAttack) Run(ctx context.Context, t Target, opts Options) (Report,
 		return h
 	}
 
-	// injectionSet returns opts.InjectErrors positions inside block 0
-	// avoiding the pairs under test (at most a handful, so a linear scan
-	// beats building a set per decision).
-	injectionSet := func(avoid ...int) []int {
-		out := make([]int, 0, opts.InjectErrors)
-		for p := 0; p < inBlock0 && len(out) < opts.InjectErrors; p++ {
-			if !slices.Contains(avoid, p) {
-				out = append(out, p)
+	// injectionSet fills dst (from its start) with opts.InjectErrors
+	// positions inside block 0 avoiding the two pairs under test (-1 =
+	// avoid nothing); the relation sweep reuses one buffer across its
+	// m-1 decisions.
+	injectionSet := func(dst []int, avoidA, avoidB int) []int {
+		dst = dst[:0]
+		for p := 0; p < inBlock0 && len(dst) < opts.InjectErrors; p++ {
+			if p != avoidA && p != avoidB {
+				dst = append(dst, p)
 			}
 		}
-		return out
+		return dst
 	}
 
 	// Calibration: rates at offset and offset+1 errors, all via
 	// value-independent within-pair swaps.
 	tr.phase("calibrate")
-	calNom := injectionSet()
-	calElev := injectionSet()
+	calNom := injectionSet(make([]int, 0, opts.InjectErrors+1), -1, -1)
+	calElev := injectionSet(make([]int, 0, opts.InjectErrors+1), -1, -1)
 	for p := 0; p < inBlock0; p++ {
 		if !slices.Contains(calElev, p) {
 			calElev = append(calElev, p)
@@ -179,17 +182,25 @@ func (a seqPairAttack) Run(ctx context.Context, t Target, opts Options) (Report,
 
 	// Relation recovery: for each j, arm A = injections + position swap
 	// of pairs 0 and j, arm B = injections only (H0-like reference).
+	// The swap arm of decision j is never re-installed after the
+	// decision, so its pair-list blob comes from a pooled buffer; the
+	// memoized reference arms keep their own blobs.
 	tr.phase("relations")
 	relations := make([]bool, m)
+	var inj []int
+	var swapBuf []byte
 	for j := 1; j < m; j++ {
-		inj := injectionSet(0, j)
+		inj = injectionSet(inj, 0, j)
+		swapIm, buf := imageWith(swapBuf[:0], inj, 0, j)
+		swapBuf = buf
+		swapArm := Hypothesis(func(t Target) error { return t.WriteImage(swapIm) })
 		// Arms ordered so index 0 = "bits equal" (swap is a no-op on
 		// the key, failure stays nominal) — for the swap arm. The
 		// reference arm identifies the nominal level; Best picks the
 		// arm behaving nominally. If the swap arm is nominal, bits are
 		// equal.
 		best, _, err := dist.BestHypotheses(ctx, t, []Hypothesis{
-			install(inj, 0, j), // swap arm
+			swapArm,            // swap arm
 			refInstall(inj, j), // reference arm
 		}, budget)
 		if err != nil {

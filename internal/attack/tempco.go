@@ -180,9 +180,13 @@ func (a tempCoAttack) Run(ctx context.Context, t Target, opts Options) (Report, 
 	// forced into cooperation via helping pair x plus the listed
 	// injections. The image is built once per arm, outside the closure,
 	// so re-installs across an arm's query run hit the adapters'
-	// identical-image write cache.
+	// identical-image write cache. The manipulated pair list lives in a
+	// pooled buffer: TempCoImage marshals it into the image's own blob
+	// before install returns, so the buffer is free for the next arm.
+	var pairsBuf []tempco.PairInfo
 	install := func(req, x int, inject []int) Hypothesis {
-		h := tempco.Helper{Pairs: append([]tempco.PairInfo(nil), original.Pairs...), Offset: original.Offset}
+		pairsBuf = append(pairsBuf[:0], original.Pairs...)
+		h := tempco.Helper{Pairs: pairsBuf, Offset: original.Offset}
 		h.Pairs[req].Tl = ambient - 1
 		h.Pairs[req].Th = ambient + 1
 		h.Pairs[req].HelpIdx = x

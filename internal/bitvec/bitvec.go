@@ -201,19 +201,9 @@ func (v Vector) maskTail() {
 func (v Vector) Weight() int {
 	w := 0
 	for _, word := range v.words {
-		w += popcount(word)
+		w += bits.OnesCount64(word)
 	}
 	return w
-}
-
-func popcount(x uint64) int {
-	// Hacker's Delight population count; avoids importing math/bits to
-	// keep this file self-describing, and the compiler recognizes the
-	// pattern anyway.
-	x -= (x >> 1) & 0x5555555555555555
-	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
-	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
-	return int(x * 0x0101010101010101 >> 56)
 }
 
 // HammingDistance returns the number of positions where v and u differ.
@@ -221,7 +211,7 @@ func (v Vector) HammingDistance(u Vector) int {
 	v.sameLen(u)
 	d := 0
 	for i := range v.words {
-		d += popcount(v.words[i] ^ u.words[i])
+		d += bits.OnesCount64(v.words[i] ^ u.words[i])
 	}
 	return d
 }
@@ -389,8 +379,28 @@ func (v Vector) String() string {
 // length followed by the Bytes packing, so the exact length survives a
 // round trip through byte-oriented storage (helper NVM sections).
 func (v Vector) MarshalBinary() ([]byte, error) {
-	out := binary.LittleEndian.AppendUint32(make([]byte, 0, 4+(v.n+7)/8), uint32(v.n))
-	return append(out, v.Bytes()...), nil
+	return v.AppendBinary(make([]byte, 0, 4+(v.n+7)/8))
+}
+
+// AppendBinary appends the MarshalBinary wire format to b and returns the
+// extended slice, packing words directly without an intermediate Bytes
+// allocation — the scratch-buffer serialization primitive of the attack
+// loops' helper-image builders.
+func (v Vector) AppendBinary(b []byte) ([]byte, error) {
+	b = binary.LittleEndian.AppendUint32(b, uint32(v.n))
+	remaining := (v.n + 7) / 8
+	for _, word := range v.words {
+		if remaining >= 8 {
+			b = binary.LittleEndian.AppendUint64(b, word)
+			remaining -= 8
+			continue
+		}
+		for ; remaining > 0; remaining-- {
+			b = append(b, byte(word))
+			word >>= 8
+		}
+	}
+	return b, nil
 }
 
 // UnmarshalVector is the inverse of MarshalBinary. Trailing bytes beyond

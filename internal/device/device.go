@@ -70,3 +70,28 @@ func (b *base) SetEnvironment(env silicon.Environment) { b.env = env }
 
 // keysEqual compares a reconstructed key against the enrolled reference.
 func keysEqual(a, b bitvec.Vector) bool { return a.Equal(b) }
+
+// copyOffset copies src into the device-owned offset buffer dst in place
+// when the lengths match (the steady state of an attack's arm sweep) and
+// clones otherwise. Safe under aliasing: copying a vector onto itself is
+// a no-op.
+func copyOffset(dst, src bitvec.Vector) bitvec.Vector {
+	if dst.Len() != src.Len() {
+		return src.Clone()
+	}
+	src.CopyInto(dst)
+	return dst
+}
+
+// setBound copies key into the device-owned bound-key buffer behind buf,
+// reallocating only on length change, and returns the buffer. Key
+// (re)binding happens on every helper write and every BindKey — once per
+// oracle query on the reprogrammed-key attack path — so it must not
+// clone per call.
+func setBound(buf *bitvec.Vector, key bitvec.Vector) bitvec.Vector {
+	if buf.Len() != key.Len() {
+		*buf = bitvec.New(key.Len())
+	}
+	key.CopyInto(*buf)
+	return *buf
+}

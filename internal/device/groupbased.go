@@ -27,9 +27,11 @@ type GroupBasedDevice struct {
 	nvm    groupbased.Helper
 	// enrolled is the original key; bound is the key the application
 	// currently operates with (re-provisioned after a key change, the
-	// paper's "maliciously reprogrammed keys" scenario).
+	// paper's "maliciously reprogrammed keys" scenario). boundBuf is the
+	// reusable storage behind bound.
 	enrolled bitvec.Vector
 	bound    bitvec.Vector
+	boundBuf bitvec.Vector
 	src      *rng.Source
 	// scratch is the reusable reconstruction state (see
 	// groupbased.Scratch); per-device, not concurrency-safe — Fork
@@ -81,10 +83,15 @@ func (d *GroupBasedDevice) WriteHelper(h groupbased.Helper) error {
 	if h.Offset.Len()%d.params.Code.N() != 0 || h.Offset.Len() == 0 {
 		return fmt.Errorf("device: offset length %d not a block multiple", h.Offset.Len())
 	}
+	// Copy into the device-owned NVM buffers in place: helper writes are
+	// the attack loops' second hot path, and HelperView callers must not
+	// hold a view across a write (its documented contract). Safe under
+	// aliasing — appending a slice's own contents onto itself from index
+	// zero rewrites it with identical values.
 	d.nvm = groupbased.Helper{
-		Poly:     clonePoly(h.Poly),
-		Grouping: groupbased.Grouping{Assign: append([]int(nil), h.Grouping.Assign...)},
-		Offset:   h.Offset.Clone(),
+		Poly:     distiller.Poly2D{P: h.Poly.P, Beta: append(d.nvm.Poly.Beta[:0], h.Poly.Beta...)},
+		Grouping: groupbased.Grouping{Assign: append(d.nvm.Grouping.Assign[:0], h.Grouping.Assign...)},
+		Offset:   copyOffset(d.nvm.Offset, h.Offset),
 	}
 	d.scratch.Invalidate()
 	d.bumpNVM()
@@ -102,7 +109,7 @@ func (d *GroupBasedDevice) WriteHelper(h groupbased.Helper) error {
 // consumption) without re-parsing the image.
 func (d *GroupBasedDevice) ReprovisionKey() {
 	if key, err := groupbased.ReconstructInto(d.arr, d.params, &d.nvm, d.env, d.src, &d.scratch); err == nil {
-		d.bound = key.Clone()
+		d.bound = setBound(&d.boundBuf, key)
 	} else {
 		d.bound = bitvec.Vector{}
 	}
@@ -111,7 +118,7 @@ func (d *GroupBasedDevice) ReprovisionKey() {
 // BindKey lets the attacker bind the application to a predicted key
 // directly (e.g. by presenting data encrypted under it), the cleanest
 // reading of the paper's reprogrammed-key observable.
-func (d *GroupBasedDevice) BindKey(key bitvec.Vector) { d.bound = key.Clone() }
+func (d *GroupBasedDevice) BindKey(key bitvec.Vector) { d.bound = setBound(&d.boundBuf, key) }
 
 // App reconstructs with the current helper and compares against the
 // currently bound application key, running in the device's scratch

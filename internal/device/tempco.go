@@ -66,9 +66,11 @@ func (d *TempCoDevice) WriteHelper(h tempco.Helper) error {
 	if h.Offset.Len() != d.nvm.Offset.Len() {
 		return fmt.Errorf("device: offset length %d, want %d", h.Offset.Len(), d.nvm.Offset.Len())
 	}
+	// In-place copies into the device-owned NVM buffers; see
+	// GroupBasedDevice.WriteHelper for the aliasing argument.
 	d.nvm = tempco.Helper{
-		Pairs:  append([]tempco.PairInfo(nil), h.Pairs...),
-		Offset: h.Offset.Clone(),
+		Pairs:  append(d.nvm.Pairs[:0], h.Pairs...),
+		Offset: copyOffset(d.nvm.Offset, h.Offset),
 	}
 	d.scratch.Invalidate()
 	d.bumpNVM()

@@ -95,6 +95,37 @@ func (q Poly2D) Add(r Poly2D) Poly2D {
 	return out
 }
 
+// AddInto is Add with caller-owned coefficient storage: the result's
+// Beta lives in buf (regrown only when too small), so an attack loop
+// superimposing a fresh pattern per hypothesis test reuses one buffer.
+// Coefficients are bit-identical to Add.
+func (q Poly2D) AddInto(r Poly2D, buf []float64) Poly2D {
+	p := q.P
+	if r.P > p {
+		p = r.P
+	}
+	n := NumTerms(p)
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	out := Poly2D{P: p, Beta: buf}
+	for i := 0; i <= q.P; i++ {
+		for j := 0; j <= i; j++ {
+			out.Beta[term(i, j)] += q.Beta[term(i, j)]
+		}
+	}
+	for i := 0; i <= r.P; i++ {
+		for j := 0; j <= i; j++ {
+			out.Beta[term(i, j)] += r.Beta[term(i, j)]
+		}
+	}
+	return out
+}
+
 // Fit least-squares fits a degree-p polynomial to the frequency map of a
 // rows x cols array, f indexed row-major (x = column, y = row), matching
 // the paper's "coefficients beta_{i,j} may be determined in a least mean

@@ -22,8 +22,15 @@ type BCH struct {
 	n, k, t    int // transmitted parameters (after shortening)
 	shorten    int
 	expurgated bool
-	gen        galois.Poly // generator over GF(2), coefficients 0/1
-	numSynd    int         // syndromes evaluated during decoding
+	gen        galois.Poly   // generator over GF(2), coefficients 0/1
+	genSupport []int         // indices of the generator's nonzero coefficients
+	chienStep  []galois.Elem // chienStep[j] = alpha^(-j), j in [0, t]
+	// syndTable[j-1][i] = alpha^(i*j): the per-bit syndrome
+	// contributions, precomputed so the decoder's inner loop is a table
+	// XOR instead of exponent arithmetic. Nil when the table would be
+	// unreasonably large (huge fields), falling back to Exp.
+	syndTable [][]galois.Elem
+	numSynd   int // syndromes evaluated during decoding
 }
 
 // BCHConfig selects a BCH code.
@@ -93,6 +100,32 @@ func NewBCH(cfg BCHConfig) (*BCH, error) {
 		// overall parity, checked separately in Decode.
 		numSynd = 2 * cfg.T
 	}
+	// Precompute the generator's support (EncodeInto reduces modulo g
+	// with XORs over it) and the Chien-search step table alpha^(-j) for
+	// every locator coefficient (the locator degree never exceeds t).
+	support := make([]int, 0, len(gen))
+	for i, c := range gen {
+		if c != 0 {
+			support = append(support, i)
+		}
+	}
+	steps := make([]galois.Elem, cfg.T+1)
+	for j := range steps {
+		steps[j] = f.Exp(-j)
+	}
+	var syndTable [][]galois.Elem
+	if fullN*numSynd <= 1<<20 {
+		syndTable = make([][]galois.Elem, numSynd)
+		for j := 1; j <= numSynd; j++ {
+			row := make([]galois.Elem, fullN)
+			step := f.Exp(j)
+			row[0] = 1
+			for i := 1; i < fullN; i++ {
+				row[i] = f.Mul(row[i-1], step)
+			}
+			syndTable[j-1] = row
+		}
+	}
 	return &BCH{
 		field:      f,
 		fullN:      fullN,
@@ -102,6 +135,9 @@ func NewBCH(cfg BCHConfig) (*BCH, error) {
 		shorten:    cfg.Shorten,
 		expurgated: cfg.Expurgate,
 		gen:        gen,
+		genSupport: support,
+		chienStep:  steps,
+		syndTable:  syndTable,
 		numSynd:    numSynd,
 	}, nil
 }
@@ -171,6 +207,43 @@ func (b *BCH) Encode(msg bitvec.Vector) bitvec.Vector {
 	return out
 }
 
+// EncodeInto implements IntoEncoder: systematic encoding into a
+// caller-owned dst of length N with no steady-state allocations. The
+// parity computation reduces x^(deg g) * u(x) modulo g in the workspace's
+// polynomial buffer — GF(2) coefficients, so cancellation is an XOR over
+// the generator's support. Output is bit-identical to Encode.
+func (b *BCH) EncodeInto(ws *Workspace, msg, dst bitvec.Vector) {
+	checkLen("message", msg.Len(), b.k)
+	checkLen("encode buffer", dst.Len(), b.n)
+	parityLen := b.fullN - (b.k + b.shorten) // = deg g
+	buf := elems(ws.encBuf, b.fullN)
+	ws.encBuf = buf
+	for i := 0; i < b.k; i++ {
+		if msg.Get(i) {
+			buf[parityLen+i] = 1
+		}
+	}
+	for d := b.fullN - 1; d >= parityLen; d-- {
+		if buf[d] == 0 {
+			continue
+		}
+		for _, j := range b.genSupport {
+			buf[d-parityLen+j] ^= 1
+		}
+	}
+	dst.Zero()
+	for i := 0; i < parityLen; i++ {
+		if buf[i] != 0 {
+			dst.Set(i, true)
+		}
+	}
+	for i := 0; i < b.k; i++ {
+		if msg.Get(i) {
+			dst.Set(parityLen+i, true)
+		}
+	}
+}
+
 // Message extracts the systematic message bits from a codeword.
 func (b *BCH) Message(codeword bitvec.Vector) bitvec.Vector {
 	checkLen("codeword", codeword.Len(), b.n)
@@ -179,10 +252,20 @@ func (b *BCH) Message(codeword bitvec.Vector) bitvec.Vector {
 }
 
 // syndromesInto computes S_1..S_numSynd where S_j = r(alpha^j) into the
-// caller's buffer, growing it only when too small.
+// caller's buffer, growing it only when too small. With the precomputed
+// power table the per-set-bit work is numSynd table XORs; the Exp
+// fallback covers fields too large to table.
 func (b *BCH) syndromesInto(buf []galois.Elem, received bitvec.Vector) []galois.Elem {
-	f := b.field
 	synd := elems(buf, b.numSynd)
+	if b.syndTable != nil {
+		for i := received.NextSet(0); i >= 0; i = received.NextSet(i + 1) {
+			for j := range synd {
+				synd[j] ^= b.syndTable[j][i]
+			}
+		}
+		return synd
+	}
+	f := b.field
 	for i := received.NextSet(0); i >= 0; i = received.NextSet(i + 1) {
 		for j := 1; j <= b.numSynd; j++ {
 			synd[j-1] = f.Add(synd[j-1], f.Exp(i*j))
@@ -239,12 +322,26 @@ func (b *BCH) DecodeInto(ws *Workspace, received, dst bitvec.Vector) (int, bool)
 	// Chien search over the transmitted positions only: an error located
 	// in a shortened (always-zero) position proves the pattern exceeded
 	// the radius. More roots than the locator degree is failure either
-	// way, so the search stops at degree+1 roots.
+	// way, so the search stops at degree+1 roots. The evaluation is
+	// incremental: term j holds lambda_j * alpha^(-i*j), so stepping from
+	// position i to i+1 is one multiply by the precomputed alpha^(-j) per
+	// coefficient instead of a full Horner pass with Pow-style exponent
+	// arithmetic.
 	f := b.field
+	terms := elems(ws.chien, len(lambda))
+	ws.chien = terms
+	copy(terms, lambda)
 	positions := ws.positions[:0]
 	for i := 0; i < b.fullN && len(positions) <= degree; i++ {
-		if f.Eval(lambda, f.Exp(-i)) == 0 {
+		var sum galois.Elem
+		for _, tm := range terms {
+			sum ^= tm
+		}
+		if sum == 0 {
 			positions = append(positions, i)
+		}
+		for j := 1; j < len(terms); j++ {
+			terms[j] = f.Mul(terms[j], b.chienStep[j])
 		}
 	}
 	ws.positions = positions

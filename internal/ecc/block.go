@@ -17,6 +17,9 @@ type Block struct {
 	// innerInto is the inner code's allocation-free decoder, cached at
 	// construction; nil when the inner code only implements Decode.
 	innerInto IntoDecoder
+	// innerEnc is the inner code's allocation-free encoder, cached at
+	// construction; nil when the inner code only implements Encode.
+	innerEnc IntoEncoder
 }
 
 // NewBlock wraps inner over the given number of blocks. It panics if
@@ -31,6 +34,7 @@ func NewBlock(inner Code, blocks int) *Block {
 	}
 	b := &Block{inner: inner, blocks: blocks}
 	b.innerInto, _ = inner.(IntoDecoder)
+	b.innerEnc, _ = inner.(IntoEncoder)
 	return b
 }
 
@@ -61,6 +65,27 @@ func (b *Block) Encode(msg bitvec.Vector) bitvec.Vector {
 		out = out.Concat(b.inner.Encode(msg.Slice(i*ik, (i+1)*ik)))
 	}
 	return out
+}
+
+// EncodeInto implements IntoEncoder block by block: each K-bit message
+// slice is extracted into a workspace buffer, encoded (through the inner
+// code's own EncodeInto when it has one), and written back into dst
+// word-level.
+func (b *Block) EncodeInto(ws *Workspace, msg, dst bitvec.Vector) {
+	checkLen("message", msg.Len(), b.K())
+	checkLen("encode buffer", dst.Len(), b.N())
+	ik, in := b.inner.K(), b.inner.N()
+	m := ws.vec(&ws.blockMsg, ik)
+	out := ws.vec(&ws.blockOut, in)
+	for i := 0; i < b.blocks; i++ {
+		msg.SliceInto(i*ik, (i+1)*ik, m)
+		if b.innerEnc != nil {
+			b.innerEnc.EncodeInto(ws, m, out)
+			dst.PutAt(i*in, out)
+		} else {
+			dst.PutAt(i*in, b.inner.Encode(m))
+		}
+	}
 }
 
 // Decode decodes each block independently. corrected sums over blocks; ok

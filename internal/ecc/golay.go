@@ -104,6 +104,31 @@ func (g *Golay) Encode(msg bitvec.Vector) bitvec.Vector {
 	return out
 }
 
+// EncodeInto implements IntoEncoder; the arithmetic runs in packed
+// uint16 halves, so ws may be nil.
+func (g *Golay) EncodeInto(_ *Workspace, msg, dst bitvec.Vector) {
+	checkLen("message", msg.Len(), 12)
+	checkLen("encode buffer", dst.Len(), 23)
+	var m uint16
+	for i := 0; i < 12; i++ {
+		if msg.Get(i) {
+			m |= 1 << uint(i)
+		}
+	}
+	left, right := encode24(m)
+	dst.Zero()
+	for i := 0; i < 12; i++ {
+		if left>>uint(i)&1 == 1 {
+			dst.Set(i, true)
+		}
+	}
+	for i := 0; i < 11; i++ { // right bit 11 is punctured
+		if right>>uint(i)&1 == 1 {
+			dst.Set(12+i, true)
+		}
+	}
+}
+
 // decode24 finds the error pattern of an extended received word
 // (left, right) with at most 3 errors. ok=false when no weight-<=3
 // pattern exists (4 detected errors).

@@ -40,6 +40,16 @@ func OffsetFor(c Code, response, msg bitvec.Vector) Offset {
 	return Offset{W: response.Xor(c.Encode(msg))}
 }
 
+// OffsetForInto is OffsetFor with caller-owned scratch: dst (length
+// c.N()) receives the offset binding response to encode(msg). The attack
+// layer calls this once per hypothesis arm, so the encode path must not
+// allocate; output is bit-identical to OffsetFor.
+func OffsetForInto(c Code, response, msg bitvec.Vector, ws *Workspace, dst bitvec.Vector) {
+	checkLen("response", response.Len(), c.N())
+	EncodeTo(c, ws, msg, dst)
+	response.XorInto(dst, dst)
+}
+
 // Reproduce attempts to recover the enrolled response from a fresh noisy
 // response reading. It returns the recovered response and ok=false when
 // decoding fails (error count beyond the radius). corrected is the number

@@ -42,8 +42,23 @@ func (r *Repetition) Encode(msg bitvec.Vector) bitvec.Vector {
 	return out
 }
 
+// EncodeInto implements IntoEncoder; the repeated bit is written with
+// word-level fills, so ws may be nil.
+func (r *Repetition) EncodeInto(_ *Workspace, msg, dst bitvec.Vector) {
+	checkLen("message", msg.Len(), 1)
+	checkLen("encode buffer", dst.Len(), r.N())
+	if msg.Get(0) {
+		dst.SetAll()
+	} else {
+		dst.Zero()
+	}
+}
+
 // Decode takes a majority vote. With n odd the vote never ties, so ok is
-// always true; patterns beyond t miscorrect silently.
+// always true; patterns beyond t miscorrect silently. The vote itself is
+// word-parallel: Weight counts set bits a 64-bit word at a time through
+// the hardware popcount, and the winning codeword is written with
+// word-level fills (see DecodeInto).
 func (r *Repetition) Decode(received bitvec.Vector) (bitvec.Vector, int, bool) {
 	cw := bitvec.New(r.N())
 	corrected, ok := r.DecodeInto(nil, received, cw)

@@ -18,12 +18,18 @@ type Workspace struct {
 	xorBuf bitvec.Vector
 	// per-block buffers of a Block decode.
 	blockRecv, blockOut bitvec.Vector
+	// per-block message buffer of a Block encode.
+	blockMsg bitvec.Vector
+	// BCH encoder state: the shifted-message polynomial reduced in place.
+	encBuf []galois.Elem
 	// BCH decoder state: syndromes, the three rotating Berlekamp-Massey
-	// polynomial buffers, and the Chien-search root list.
+	// polynomial buffers, the Chien-search per-coefficient running terms,
+	// and the root list.
 	synd      []galois.Elem
 	bmC       galois.Poly
 	bmPrev    galois.Poly
 	bmSpare   galois.Poly
+	chien     []galois.Elem
 	positions []int
 }
 
@@ -58,6 +64,28 @@ func elems(buf []galois.Elem, n int) []galois.Elem {
 type IntoDecoder interface {
 	Code
 	DecodeInto(ws *Workspace, received, dst bitvec.Vector) (corrected int, ok bool)
+}
+
+// IntoEncoder is the optional encoding fast path of a Code: encode a
+// K-bit message into a caller-owned N-bit destination using workspace
+// scratch, bit-identical to Encode with no steady-state allocations. All
+// codes in this package implement it; Block uses it per inner block when
+// available and falls back to Encode otherwise.
+type IntoEncoder interface {
+	Code
+	EncodeInto(ws *Workspace, msg, dst bitvec.Vector)
+}
+
+// EncodeTo encodes msg into dst (length c.N()) through the code's
+// EncodeInto fast path when it has one, copying an Encode result
+// otherwise. The workspace-reusing primitive behind OffsetForInto.
+func EncodeTo(c Code, ws *Workspace, msg, dst bitvec.Vector) {
+	checkLen("encode buffer", dst.Len(), c.N())
+	if ie, fast := c.(IntoEncoder); fast {
+		ie.EncodeInto(ws, msg, dst)
+		return
+	}
+	c.Encode(msg).CopyInto(dst)
 }
 
 // ReproduceInto is Reproduce with caller-owned scratch: dst (length

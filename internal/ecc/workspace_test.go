@@ -92,3 +92,80 @@ func TestReproduceIntoMatchesReproduce(t *testing.T) {
 		}
 	}
 }
+
+// TestEncodeIntoMatchesEncode sweeps every code family over random
+// messages and checks the workspace encoder against Encode bit-for-bit,
+// with a SHARED workspace across calls so buffer-reuse bugs cannot hide.
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	codes := []Code{
+		NewRepetition(3),
+		NewGolay(),
+		MustBCH(BCHConfig{M: 5, T: 3}),
+		MustBCH(BCHConfig{M: 5, T: 3, Expurgate: true}),
+		MustBCH(BCHConfig{M: 6, T: 4, Shorten: 5}),
+		NewBlock(MustBCH(BCHConfig{M: 5, T: 3}), 3),
+		NewBlock(NewGolay(), 2),
+	}
+	src := rng.New(4096)
+	for _, c := range codes {
+		ie, ok := c.(IntoEncoder)
+		if !ok {
+			t.Fatalf("%s does not implement IntoEncoder", c)
+		}
+		var ws Workspace
+		dst := bitvec.New(c.N())
+		for trial := 0; trial < 50; trial++ {
+			msg := bitvec.New(c.K())
+			for i := 0; i < msg.Len(); i++ {
+				msg.Set(i, src.Bool())
+			}
+			want := c.Encode(msg)
+			ie.EncodeInto(&ws, msg, dst)
+			if !dst.Equal(want) {
+				t.Fatalf("%s trial %d: EncodeInto differs from Encode", c, trial)
+			}
+		}
+	}
+}
+
+// TestOffsetForIntoMatchesOffsetFor pins the attack layer's crafted
+// offset fast path against the allocating original.
+func TestOffsetForIntoMatchesOffsetFor(t *testing.T) {
+	src := rng.New(88)
+	c := NewBlock(MustBCH(BCHConfig{M: 5, T: 3}), 2)
+	var ws Workspace
+	dst := bitvec.New(c.N())
+	for trial := 0; trial < 25; trial++ {
+		resp := bitvec.New(c.N())
+		for i := 0; i < resp.Len(); i++ {
+			resp.Set(i, src.Bool())
+		}
+		msg := bitvec.New(c.K())
+		for i := 0; i < msg.Len(); i++ {
+			msg.Set(i, src.Bool())
+		}
+		want := OffsetFor(c, resp, msg)
+		OffsetForInto(c, resp, msg, &ws, dst)
+		if !dst.Equal(want.W) {
+			t.Fatalf("trial %d: OffsetForInto differs from OffsetFor", trial)
+		}
+	}
+}
+
+// TestEncodeIntoSteadyStateAllocs pins the encode fast path's
+// allocation-free steady state (the attack layer calls it once per
+// hypothesis arm).
+func TestEncodeIntoSteadyStateAllocs(t *testing.T) {
+	c := NewBlock(MustBCH(BCHConfig{M: 5, T: 3, Expurgate: true}), 2)
+	src := rng.New(99)
+	msg := bitvec.New(c.K())
+	for i := 0; i < msg.Len(); i++ {
+		msg.Set(i, src.Bool())
+	}
+	var ws Workspace
+	dst := bitvec.New(c.N())
+	c.EncodeInto(&ws, msg, dst) // grow the workspace
+	if got := testing.AllocsPerRun(50, func() { c.EncodeInto(&ws, msg, dst) }); got > 0 {
+		t.Fatalf("EncodeInto allocates %.1f/op in steady state", got)
+	}
+}

@@ -12,7 +12,10 @@
 // polynomial per extension degree m in [2, 16].
 package galois
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // primitivePolys[m] is a primitive polynomial of degree m over GF(2),
 // encoded with bit i representing x^i. These are the standard minimal-
@@ -47,10 +50,27 @@ type Field struct {
 	log  []int  // log[x] = i such that alpha^i = x, for x in [1, 2^m)
 }
 
-// NewField constructs GF(2^m). It panics if m is outside [2, 16], which is
-// a programming error rather than a runtime condition: field sizes are
-// fixed at code-construction time.
+// fieldCache interns one Field per extension degree. A Field is
+// immutable after construction (its tables are only ever read), and
+// experiment populations construct the same BCH codes once per device,
+// so rebuilding the log/antilog tables each time is pure waste.
+var fieldCache sync.Map // m -> *Field
+
+// NewField returns GF(2^m), constructing it on first use and returning
+// the shared immutable instance afterwards. It panics if m is outside
+// [2, 16], which is a programming error rather than a runtime condition:
+// field sizes are fixed at code-construction time.
 func NewField(m int) *Field {
+	if f, ok := fieldCache.Load(m); ok {
+		return f.(*Field)
+	}
+	f := newField(m)
+	actual, _ := fieldCache.LoadOrStore(m, f)
+	return actual.(*Field)
+}
+
+// newField builds the tables for GF(2^m).
+func newField(m int) *Field {
 	poly, ok := primitivePolys[m]
 	if !ok {
 		panic(fmt.Sprintf("galois: unsupported extension degree m=%d", m))

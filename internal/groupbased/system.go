@@ -3,6 +3,7 @@ package groupbased
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"repro/internal/bitvec"
 	"repro/internal/distiller"
@@ -113,6 +114,17 @@ func groupOrder(members []int, residuals []float64) []int {
 func PackKey(g *Grouping, stream bitvec.Vector) (bitvec.Vector, error) {
 	var sc perm.Scratch
 	key := bitvec.New(KeyLen(g))
+	if err := PackKeyInto(g, stream, &sc, key); err != nil {
+		return bitvec.Vector{}, err
+	}
+	return key, nil
+}
+
+// PackKeyInto is PackKey into a caller-owned key buffer of length
+// KeyLen(g) through the caller's permutation scratch — the attack layer
+// packs one predicted key per hypothesis arm, so the codec buffers and
+// the key itself must be reusable.
+func PackKeyInto(g *Grouping, stream bitvec.Vector, sc *perm.Scratch, dst bitvec.Vector) error {
 	at, keyAt := 0, 0
 	for id, members := range g.Members() {
 		n := len(members)
@@ -121,17 +133,17 @@ func PackKey(g *Grouping, stream bitvec.Vector) (bitvec.Vector, error) {
 		}
 		bits := perm.KendallBits(n)
 		if at+bits > stream.Len() {
-			return bitvec.Vector{}, fmt.Errorf("groupbased: stream exhausted at group %d: %w", id, ErrReconstructFailed)
+			return fmt.Errorf("groupbased: stream exhausted at group %d: %w", id, ErrReconstructFailed)
 		}
 		order, err := sc.KendallDecodeAt(stream, at, n)
 		if err != nil {
-			return bitvec.Vector{}, fmt.Errorf("groupbased: group %d: %v: %w", id, err, ErrReconstructFailed)
+			return fmt.Errorf("groupbased: group %d: %v: %w", id, err, ErrReconstructFailed)
 		}
-		sc.CompactEncodeAt(key, keyAt, order)
+		sc.CompactEncodeAt(dst, keyAt, order)
 		keyAt += perm.CompactBits(n)
 		at += bits
 	}
-	return key, nil
+	return nil
 }
 
 // StreamLen returns the Kendall bitstream length of a grouping.
@@ -236,6 +248,15 @@ type Scratch struct {
 	ws        ecc.Workspace
 	perm      perm.Scratch
 	groupVals []float64
+	// content fingerprints: a helper write that repeats the previous
+	// grouping or polynomial (an attack arm's hypothesis sweep varies
+	// only the ECC offset) skips revalidation and cache rebuilds, whose
+	// outcomes are pure functions of that content.
+	groupsValid bool
+	lastAssign  []int
+	gridValid   bool
+	lastP       int
+	lastBeta    []float64
 }
 
 // Invalidate drops the helper-derived caches; the next ReconstructInto
@@ -246,19 +267,31 @@ func (sc *Scratch) Invalidate() { sc.helperValid = false }
 // validation order of the legacy Reconstruct so failure modes and their
 // errors are unchanged.
 func (sc *Scratch) refresh(a *silicon.Array, p Params, h *Helper) error {
-	if err := h.Grouping.Validate(a.N()); err != nil {
-		return err
+	groupsSame := sc.groupsValid && slices.Equal(sc.lastAssign, h.Grouping.Assign)
+	if !groupsSame {
+		if err := h.Grouping.Validate(a.N()); err != nil {
+			return err
+		}
 	}
 	if h.Offset.Len()%p.Code.N() != 0 || h.Offset.Len() == 0 {
 		return fmt.Errorf("groupbased: offset length %d not a block multiple", h.Offset.Len())
 	}
-	sc.members = h.Grouping.Members()
-	sc.streamLen = StreamLen(&h.Grouping)
+	if !groupsSame {
+		sc.members = h.Grouping.Members()
+		sc.streamLen = StreamLen(&h.Grouping)
+		sc.keyLen = KeyLen(&h.Grouping)
+		sc.lastAssign = append(sc.lastAssign[:0], h.Grouping.Assign...)
+		sc.groupsValid = true
+	}
 	if sc.streamLen > h.Offset.Len() {
 		return fmt.Errorf("groupbased: offset too short for grouping stream")
 	}
-	sc.keyLen = KeyLen(&h.Grouping)
-	sc.grid = h.Poly.EvalGrid(p.Rows, p.Cols, sc.grid)
+	if !sc.gridValid || h.Poly.P != sc.lastP || !slices.Equal(sc.lastBeta, h.Poly.Beta) {
+		sc.grid = h.Poly.EvalGrid(p.Rows, p.Cols, sc.grid)
+		sc.lastP = h.Poly.P
+		sc.lastBeta = append(sc.lastBeta[:0], h.Poly.Beta...)
+		sc.gridValid = true
+	}
 	blocks := (sc.streamLen + p.Code.N() - 1) / p.Code.N()
 	if blocks == 0 {
 		blocks = 1

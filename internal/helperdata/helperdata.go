@@ -25,7 +25,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"sort"
 )
 
 // Format constants.
@@ -48,21 +47,57 @@ const (
 	SectionTag        = "robust-tag"
 )
 
-// Image is an in-memory helper NVM image: named byte sections.
+// Image is an in-memory helper NVM image: named byte sections. The
+// backing store is a small name-sorted slice rather than a map — real
+// images hold a handful of sections, attacks build one image per
+// hypothesis arm, and the sorted slice makes an image two allocations
+// with cheaper lookups than map hashing at these sizes.
 type Image struct {
-	sections map[string][]byte
+	sections []section
+}
+
+// section is one named blob.
+type section struct {
+	name string
+	data []byte
 }
 
 // NewImage returns an empty image.
 func NewImage() *Image {
-	return &Image{sections: make(map[string][]byte)}
+	return &Image{sections: make([]section, 0, 4)}
+}
+
+// find returns the index of name in the sorted section list, or the
+// insertion point with found=false.
+func (im *Image) find(name string) (int, bool) {
+	for i := range im.sections {
+		if im.sections[i].name == name {
+			return i, true
+		}
+		if im.sections[i].name > name {
+			return i, false
+		}
+	}
+	return len(im.sections), false
+}
+
+// put stores data under name, keeping the list sorted.
+func (im *Image) put(name string, data []byte) {
+	i, found := im.find(name)
+	if found {
+		im.sections[i].data = data
+		return
+	}
+	im.sections = append(im.sections, section{})
+	copy(im.sections[i+1:], im.sections[i:])
+	im.sections[i] = section{name: name, data: data}
 }
 
 // Set stores a section, copying the data. Empty names are rejected at
 // Marshal time; overwriting an existing section is allowed (that is what
 // the attacker does).
 func (im *Image) Set(name string, data []byte) {
-	im.sections[name] = append([]byte(nil), data...)
+	im.put(name, append([]byte(nil), data...))
 }
 
 // SetOwned stores a section WITHOUT copying: the image takes ownership
@@ -70,39 +105,43 @@ func (im *Image) Set(name string, data []byte) {
 // builders use it to share one marshaled blob (e.g. an unchanged ECC
 // offset) across the many images of a hypothesis sweep.
 func (im *Image) SetOwned(name string, data []byte) {
-	im.sections[name] = data
+	im.put(name, data)
 }
 
 // Section returns a copy of a section's content and whether it exists.
 func (im *Image) Section(name string) ([]byte, bool) {
-	d, ok := im.sections[name]
+	i, ok := im.find(name)
 	if !ok {
 		return nil, false
 	}
-	return append([]byte(nil), d...), true
+	return append([]byte(nil), im.sections[i].data...), true
 }
 
 // SectionRO returns a section's content WITHOUT copying, for read-only
 // parsing on hot paths. The caller must not mutate or retain the slice
 // beyond the parse.
 func (im *Image) SectionRO(name string) ([]byte, bool) {
-	d, ok := im.sections[name]
-	return d, ok
+	i, ok := im.find(name)
+	if !ok {
+		return nil, false
+	}
+	return im.sections[i].data, true
 }
 
 // Names returns the section names in sorted order.
 func (im *Image) Names() []string {
 	out := make([]string, 0, len(im.sections))
-	for n := range im.sections {
-		out = append(out, n)
+	for i := range im.sections {
+		out = append(out, im.sections[i].name)
 	}
-	sort.Strings(out)
 	return out
 }
 
 // Delete removes a section if present.
 func (im *Image) Delete(name string) {
-	delete(im.sections, name)
+	if i, ok := im.find(name); ok {
+		im.sections = append(im.sections[:i], im.sections[i+1:]...)
+	}
 }
 
 // Len returns the number of sections.
@@ -114,26 +153,24 @@ func (im *Image) Marshal() ([]byte, error) {
 	buf := make([]byte, 0, 64)
 	buf = append(buf, magic...)
 	buf = append(buf, version)
-	names := im.Names()
-	if len(names) > 0xffff {
-		return nil, fmt.Errorf("helperdata: %d sections exceed the format limit", len(names))
+	if len(im.sections) > 0xffff {
+		return nil, fmt.Errorf("helperdata: %d sections exceed the format limit", len(im.sections))
 	}
-	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(names)))
-	for _, name := range names {
-		if name == "" {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(im.sections)))
+	for _, s := range im.sections {
+		if s.name == "" {
 			return nil, errors.New("helperdata: empty section name")
 		}
-		if len(name) > 0xff {
-			return nil, fmt.Errorf("helperdata: section name %q too long", name)
+		if len(s.name) > 0xff {
+			return nil, fmt.Errorf("helperdata: section name %q too long", s.name)
 		}
-		data := im.sections[name]
-		if len(data) > MaxSectionBytes {
-			return nil, fmt.Errorf("helperdata: section %q exceeds %d bytes", name, MaxSectionBytes)
+		if len(s.data) > MaxSectionBytes {
+			return nil, fmt.Errorf("helperdata: section %q exceeds %d bytes", s.name, MaxSectionBytes)
 		}
-		buf = append(buf, byte(len(name)))
-		buf = append(buf, name...)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(data)))
-		buf = append(buf, data...)
+		buf = append(buf, byte(len(s.name)))
+		buf = append(buf, s.name...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.data)))
+		buf = append(buf, s.data...)
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 	return buf, nil
@@ -174,7 +211,7 @@ func Unmarshal(raw []byte) (*Image, error) {
 		if dataLen > MaxSectionBytes || at+dataLen > len(body) {
 			return nil, fmt.Errorf("helperdata: section %q length %d malformed", name, dataLen)
 		}
-		if _, dup := im.sections[name]; dup {
+		if _, dup := im.find(name); dup {
 			return nil, fmt.Errorf("helperdata: duplicate section %q", name)
 		}
 		im.Set(name, body[at:at+dataLen])
@@ -186,18 +223,20 @@ func Unmarshal(raw []byte) (*Image, error) {
 	return im, nil
 }
 
-// Equal reports whether two images have identical sections.
+// Equal reports whether two images have identical sections. Both
+// section lists are name-sorted, so the comparison is a single pairwise
+// walk.
 func (im *Image) Equal(other *Image) bool {
 	if im.Len() != other.Len() {
 		return false
 	}
-	for name, data := range im.sections {
-		od, ok := other.sections[name]
-		if !ok || len(od) != len(data) {
+	for i := range im.sections {
+		a, b := &im.sections[i], &other.sections[i]
+		if a.name != b.name || len(a.data) != len(b.data) {
 			return false
 		}
-		for i := range data {
-			if data[i] != od[i] {
+		for j := range a.data {
+			if a.data[j] != b.data[j] {
 				return false
 			}
 		}

@@ -159,18 +159,39 @@ func EnrollMasking(f []float64, basePairs []Pair, k int) (MaskingHelper, error) 
 // within each group. (The paper's attack on this scheme works through
 // valid selections, so validation does not stop it.)
 func (h MaskingHelper) SelectedPairs(basePairs []Pair) ([]Pair, error) {
+	return h.SelectedPairsInto(nil, basePairs)
+}
+
+// Validate applies SelectedPairs' structural checks without materializing
+// the pair list — the allocation-free write-time validation a device runs
+// on every helper install.
+func (h MaskingHelper) Validate(basePairs []Pair) error {
 	if h.K < 1 || len(h.Selected)*h.K > len(basePairs) {
-		return nil, fmt.Errorf("pairing: masking helper shape (k=%d, groups=%d) exceeds %d base pairs",
+		return fmt.Errorf("pairing: masking helper shape (k=%d, groups=%d) exceeds %d base pairs",
 			h.K, len(h.Selected), len(basePairs))
 	}
-	out := make([]Pair, len(h.Selected))
-	for g, s := range h.Selected {
+	for _, s := range h.Selected {
 		if s < 0 || s >= h.K {
-			return nil, fmt.Errorf("pairing: masking selection %d outside group of %d", s, h.K)
+			return fmt.Errorf("pairing: masking selection %d outside group of %d", s, h.K)
 		}
-		out[g] = basePairs[g*h.K+s]
 	}
-	return out, nil
+	return nil
+}
+
+// SelectedPairsInto is SelectedPairs into a caller-owned buffer, regrown
+// only when its capacity is insufficient.
+func (h MaskingHelper) SelectedPairsInto(dst []Pair, basePairs []Pair) ([]Pair, error) {
+	if err := h.Validate(basePairs); err != nil {
+		return nil, err
+	}
+	if cap(dst) < len(h.Selected) {
+		dst = make([]Pair, len(h.Selected))
+	}
+	dst = dst[:len(h.Selected)]
+	for g, s := range h.Selected {
+		dst[g] = basePairs[g*h.K+s]
+	}
+	return dst, nil
 }
 
 // Marshal serializes the masking helper for NVM.

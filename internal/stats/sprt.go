@@ -52,6 +52,14 @@ func (d SPRTDecision) String() string {
 // Degenerate rates (p0 = 0 or p1 = 1) are clamped slightly inward so the
 // log-likelihood ratios stay finite.
 func NewSPRT(p0, p1, alpha, beta float64) *SPRT {
+	s := MakeSPRT(p0, p1, alpha, beta)
+	return &s
+}
+
+// MakeSPRT is NewSPRT returning the test by value, for callers that run
+// one test per hypothesis arm on a hot loop and want the state on their
+// own stack instead of a fresh heap allocation per arm.
+func MakeSPRT(p0, p1, alpha, beta float64) SPRT {
 	if !(p0 < p1) || p0 < 0 || p1 > 1 {
 		panic(fmt.Sprintf("stats: invalid SPRT rates p0=%v p1=%v", p0, p1))
 	}
@@ -61,7 +69,7 @@ func NewSPRT(p0, p1, alpha, beta float64) *SPRT {
 	const eps = 1e-9
 	p0 = math.Max(p0, eps)
 	p1 = math.Min(p1, 1-eps)
-	return &SPRT{
+	return SPRT{
 		llr1:  math.Log(p1 / p0),             // increment for a failure
 		llr0:  math.Log((1 - p1) / (1 - p0)), // increment for a success
 		upper: math.Log((1 - beta) / alpha),
