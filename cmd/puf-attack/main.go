@@ -15,6 +15,13 @@
 //	puf-attack -list
 //	puf-attack -attack seqpair [-seed N] [-strategy sequential|fixed]
 //	puf-attack -attack groupbased -workers 8 -budget 200000 -timeout 2m
+//	puf-attack -attack seqpair -noise counter
+//
+// -noise selects the silicon noise model the simulated device draws
+// its measurement noise from: the legacy sequential stream (default,
+// matching the historical transcript goldens) or the counter-mode
+// model, whose sparse oracle queries draw only the helper-referenced
+// oscillators' noise (O(k)).
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"repro/internal/groupbased"
 	"repro/internal/pairing"
 	"repro/internal/rng"
+	"repro/internal/silicon"
 	"repro/internal/tempco"
 )
 
@@ -41,6 +49,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "device manufacturing seed")
 	strategy := flag.String("strategy", "sequential", "distinguisher: sequential or fixed")
 	workers := flag.Int("workers", 1, "batched oracle workers (> 1 wraps the target in attack.BatchTarget)")
+	noiseName := flag.String("noise", "stream", "silicon noise model: stream or counter")
 	budget := flag.Int("budget", 0, "oracle query budget (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "attack wall-time limit (0 = none)")
 	verbose := flag.Bool("v", false, "print per-phase progress lines")
@@ -63,6 +72,12 @@ func main() {
 		*name = *construction
 	}
 
+	noise, err := silicon.ParseNoiseModel(*noiseName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "puf-attack:", err)
+		os.Exit(2)
+	}
+
 	dist := attack.DefaultDistinguisher()
 	if *strategy == "fixed" {
 		dist = attack.Distinguisher{Strategy: attack.FixedSample, Queries: 10}
@@ -75,7 +90,7 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, *name, *seed, attack.Options{
+	if err := run(ctx, *name, *seed, noise, attack.Options{
 		Dist:        dist,
 		QueryBudget: *budget,
 	}, *workers, *verbose); err != nil {
@@ -84,12 +99,12 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, name string, seed uint64, opts attack.Options, workers int, verbose bool) error {
-	target, truth, desc, err := enroll(name, seed)
+func run(ctx context.Context, name string, seed uint64, noise silicon.NoiseModelKind, opts attack.Options, workers int, verbose bool) error {
+	target, truth, desc, err := enroll(name, seed, noise)
 	if err != nil {
 		return err
 	}
-	fmt.Println(desc)
+	fmt.Printf("%s (noise model: %s)\n", desc, target.Spec().Noise)
 
 	if workers > 1 {
 		bt, err := attack.NewBatchTarget(target, workers, seed^0xba7c4)
@@ -120,7 +135,7 @@ func run(ctx context.Context, name string, seed uint64, opts attack.Options, wor
 // enroll builds the standard device population entry for one attack and
 // returns its oracle, the enrolled key when the attack recovers one
 // (empty for relation-only attacks), and a banner line.
-func enroll(name string, seed uint64) (attack.Target, bitvec.Vector, string, error) {
+func enroll(name string, seed uint64, noise silicon.NoiseModelKind) (attack.Target, bitvec.Vector, string, error) {
 	srcMfg, srcRun := rng.New(seed), rng.New(seed+1)
 	switch name {
 	case "seqpair":
@@ -130,6 +145,7 @@ func enroll(name string, seed uint64) (attack.Target, bitvec.Vector, string, err
 			Policy:       pairing.RandomizedStorage,
 			Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3, Expurgate: true}),
 			EnrollReps:   20,
+			Noise:        noise,
 		}, srcMfg, srcRun)
 		if err != nil {
 			return nil, bitvec.Vector{}, "", err
@@ -144,6 +160,7 @@ func enroll(name string, seed uint64) (attack.Target, bitvec.Vector, string, err
 			Policy:     tempco.RandomSelection,
 			Code:       ecc.MustBCH(ecc.BCHConfig{M: 6, T: 3}),
 			EnrollReps: 25,
+			Noise:      noise,
 		}, srcMfg, srcRun)
 		if err != nil {
 			return nil, bitvec.Vector{}, "", err
@@ -160,6 +177,7 @@ func enroll(name string, seed uint64) (attack.Target, bitvec.Vector, string, err
 			MaxGroupSize: 6,
 			Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
 			EnrollReps:   25,
+			Noise:        noise,
 		}, srcMfg, srcRun)
 		if err != nil {
 			return nil, bitvec.Vector{}, "", err
@@ -176,6 +194,7 @@ func enroll(name string, seed uint64) (attack.Target, bitvec.Vector, string, err
 			Degree: 2, Mode: mode, K: 5,
 			Code:       ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
 			EnrollReps: 25,
+			Noise:      noise,
 		}, srcMfg, srcRun)
 		if err != nil {
 			return nil, bitvec.Vector{}, "", err

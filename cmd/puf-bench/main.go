@@ -4,10 +4,16 @@
 //
 // Usage:
 //
-//	puf-bench [-seed N] [-experiment all|E1..E12|A1|A2|A4|R1]
+//	puf-bench [-seed N] [-experiment all|E1..E12|A1|A2|A4|R1] [-noise counter|stream]
 //	puf-bench -json [-count N] [-json-out BENCH_attacks.json]
-//	         [-baseline BENCH_attacks.json]
+//	         [-baseline BENCH_attacks.json] [-ns-gate-pct 15]
 //	puf-bench [...] -cpuprofile cpu.out -memprofile mem.out
+//
+// The attack-backed experiments (E5-E9, R1) and the -json benchmarks
+// enroll their devices under the silicon noise model named by -noise;
+// the default is the counter-mode model (O(k) sparse oracle queries),
+// -noise stream selects the legacy sequential-stream model whose
+// transcripts match the historical goldens.
 //
 // With -json the tool instead benchmarks the five end-to-end attacks
 // (the oracle-query hot path) via testing.Benchmark and writes a
@@ -18,8 +24,10 @@
 // so a noisy neighbor on the measurement host cannot contaminate the
 // committed numbers. With -baseline the run additionally compares
 // against a committed artifact and exits nonzero when any attack's
-// allocs/op — deterministic, unlike ns/op — regresses by more than 2%;
-// ns/op deltas are reported but never gate.
+// allocs/op — deterministic — regresses by more than 2%, or when its
+// median ns/op regresses by more than -ns-gate-pct percent (default
+// 15; 0 disables the wall-clock gate for hosts that cannot hold a
+// stable clock).
 //
 // The -cpuprofile/-memprofile flags wrap either mode in a pprof capture
 // (`go tool pprof` reads the output), the profiling workflow the README
@@ -38,7 +46,22 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/silicon"
 )
+
+// benchConfig carries one invocation's settings through run().
+type benchConfig struct {
+	seed       uint64
+	which      string
+	jsonMode   bool
+	jsonOut    string
+	baseline   string
+	count      int
+	nsGatePct  float64
+	noise      silicon.NoiseModelKind
+	cpuProfile string
+	memProfile string
+}
 
 func main() {
 	seed := flag.Uint64("seed", 1, "master seed for all experiments")
@@ -46,21 +69,40 @@ func main() {
 	jsonMode := flag.Bool("json", false, "benchmark the attack hot paths and write a JSON perf artifact")
 	jsonOut := flag.String("json-out", "BENCH_attacks.json", "output path of the -json artifact")
 	count := flag.Int("count", 5, "benchmark repetitions per attack; the artifact records medians")
-	baseline := flag.String("baseline", "", "committed artifact to compare against; >2% allocs/op regression fails")
+	baseline := flag.String("baseline", "", "committed artifact to compare against; >2% allocs/op or >ns-gate-pct ns/op regression fails")
+	nsGatePct := flag.Float64("ns-gate-pct", 15, "median ns/op regression percentage that fails -baseline (0 disables)")
+	noiseName := flag.String("noise", "counter", "silicon noise model for attack-backed runs: counter or stream")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
+	noise, err := silicon.ParseNoiseModel(*noiseName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
+
 	// All work runs inside run() so its deferred profile writers flush
 	// on EVERY exit path — a failing run is exactly when a profile is
 	// wanted; os.Exit happens only after run returns.
-	os.Exit(run(*seed, *which, *jsonOut, *baseline, *cpuProfile, *memProfile, *jsonMode, *count))
+	os.Exit(run(benchConfig{
+		seed:       *seed,
+		which:      *which,
+		jsonMode:   *jsonMode,
+		jsonOut:    *jsonOut,
+		baseline:   *baseline,
+		count:      *count,
+		nsGatePct:  *nsGatePct,
+		noise:      noise,
+		cpuProfile: *cpuProfile,
+		memProfile: *memProfile,
+	}))
 }
 
 // run executes one puf-bench invocation and returns the process status.
-func run(seed uint64, which, jsonOut, baseline, cpuProfile, memProfile string, jsonMode bool, count int) int {
-	if cpuProfile != "" {
-		f, err := os.Create(cpuProfile)
+func run(cfg benchConfig) int {
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			return 1
@@ -73,10 +115,10 @@ func run(seed uint64, which, jsonOut, baseline, cpuProfile, memProfile string, j
 		defer pprof.StopCPUProfile()
 	}
 	defer func() {
-		if memProfile == "" {
+		if cfg.memProfile == "" {
 			return
 		}
-		f, err := os.Create(memProfile)
+		f, err := os.Create(cfg.memProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			return
@@ -88,8 +130,8 @@ func run(seed uint64, which, jsonOut, baseline, cpuProfile, memProfile string, j
 		}
 	}()
 
-	if jsonMode {
-		if err := runJSONBench(seed, jsonOut, baseline, count); err != nil {
+	if cfg.jsonMode {
+		if err := runJSONBench(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			return 1
 		}
@@ -98,7 +140,7 @@ func run(seed uint64, which, jsonOut, baseline, cpuProfile, memProfile string, j
 
 	runners := []struct {
 		id  string
-		fn  func(uint64) error
+		fn  func(benchConfig) error
 		doc string
 	}{
 		{"E1", runE1, "Table I: compact and Kendall coding"},
@@ -119,25 +161,25 @@ func run(seed uint64, which, jsonOut, baseline, cpuProfile, memProfile string, j
 	}
 	ran := false
 	for _, r := range runners {
-		if which != "all" && which != r.id {
+		if cfg.which != "all" && cfg.which != r.id {
 			continue
 		}
 		ran = true
 		fmt.Printf("==== %s — %s ====\n", r.id, r.doc)
-		if err := r.fn(seed); err != nil {
+		if err := r.fn(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
 			return 1
 		}
 		fmt.Println()
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cfg.which)
 		return 2
 	}
 	return 0
 }
 
-func runE1(uint64) error {
+func runE1(benchConfig) error {
 	rows := experiments.TableI()
 	fmt.Printf("%-6s %-8s %-8s\n", "Order", "Compact", "Kendall")
 	for _, r := range rows {
@@ -146,8 +188,8 @@ func runE1(uint64) error {
 	return nil
 }
 
-func runE2(seed uint64) error {
-	r, err := experiments.Fig2(seed)
+func runE2(cfg benchConfig) error {
+	r, err := experiments.Fig2(cfg.seed)
 	if err != nil {
 		return err
 	}
@@ -160,8 +202,8 @@ func runE2(seed uint64) error {
 	return nil
 }
 
-func runE3(seed uint64) error {
-	rows, err := experiments.Fig3(seed, []float64{0.2, 0.4, 0.6, 0.8, 1.2, 1.6, 2.4})
+func runE3(cfg benchConfig) error {
+	rows, err := experiments.Fig3(cfg.seed, []float64{0.2, 0.4, 0.6, 0.8, 1.2, 1.6, 2.4})
 	if err != nil {
 		return err
 	}
@@ -172,8 +214,8 @@ func runE3(seed uint64) error {
 	return nil
 }
 
-func runE4(seed uint64) error {
-	r, err := experiments.Fig5(seed, 2000)
+func runE4(cfg benchConfig) error {
+	r, err := experiments.Fig5(cfg.seed, 2000)
 	if err != nil {
 		return err
 	}
@@ -193,8 +235,8 @@ func runE4(seed uint64) error {
 	return nil
 }
 
-func runE5(seed uint64) error {
-	r, err := experiments.RunGroupBasedAttack(context.Background(), seed)
+func runE5(cfg benchConfig) error {
+	r, err := experiments.RunGroupBasedAttackNoise(context.Background(), cfg.seed, cfg.noise)
 	if err != nil {
 		return err
 	}
@@ -204,8 +246,8 @@ func runE5(seed uint64) error {
 	return nil
 }
 
-func runE6(seed uint64) error {
-	r, err := experiments.RunMaskingAttack(context.Background(), seed)
+func runE6(cfg benchConfig) error {
+	r, err := experiments.RunMaskingAttackNoise(context.Background(), cfg.seed, cfg.noise)
 	if err != nil {
 		return err
 	}
@@ -214,8 +256,8 @@ func runE6(seed uint64) error {
 	return nil
 }
 
-func runE7(seed uint64) error {
-	r, err := experiments.RunChainAttack(context.Background(), seed)
+func runE7(cfg benchConfig) error {
+	r, err := experiments.RunChainAttackNoise(context.Background(), cfg.seed, cfg.noise)
 	if err != nil {
 		return err
 	}
@@ -224,9 +266,9 @@ func runE7(seed uint64) error {
 	return nil
 }
 
-func runE8(seed uint64) error {
+func runE8(cfg benchConfig) error {
 	for _, exp := range []bool{false, true} {
-		r, err := experiments.RunSeqPairAttack(context.Background(), seed, exp)
+		r, err := experiments.RunSeqPairAttackNoise(context.Background(), cfg.seed, exp, cfg.noise)
 		if err != nil {
 			return err
 		}
@@ -240,8 +282,8 @@ func runE8(seed uint64) error {
 	return nil
 }
 
-func runE9(seed uint64) error {
-	r, err := experiments.RunTempCoAttack(context.Background(), seed)
+func runE9(cfg benchConfig) error {
+	r, err := experiments.RunTempCoAttackNoise(context.Background(), cfg.seed, cfg.noise)
 	if err != nil {
 		return err
 	}
@@ -252,8 +294,8 @@ func runE9(seed uint64) error {
 	return nil
 }
 
-func runE11(seed uint64) error {
-	rows := experiments.EntropyAccounting(seed, []float64{0.2, 0.4, 0.6, 1.0, 1.5, 2.0})
+func runE11(cfg benchConfig) error {
+	rows := experiments.EntropyAccounting(cfg.seed, []float64{0.2, 0.4, 0.6, 1.0, 1.5, 2.0})
 	if rows == nil {
 		return fmt.Errorf("entropy accounting failed")
 	}
@@ -265,8 +307,8 @@ func runE11(seed uint64) error {
 	return nil
 }
 
-func runE12(seed uint64) error {
-	r, err := experiments.FuzzyResistance(seed, 60)
+func runE12(cfg benchConfig) error {
+	r, err := experiments.FuzzyResistance(cfg.seed, 60)
 	if err != nil {
 		return err
 	}
@@ -277,8 +319,8 @@ func runE12(seed uint64) error {
 	return nil
 }
 
-func runA1(seed uint64) error {
-	r, err := experiments.AblationStoragePolicy(seed, 20)
+func runA1(cfg benchConfig) error {
+	r, err := experiments.AblationStoragePolicy(cfg.seed, 20)
 	if err != nil {
 		return err
 	}
@@ -287,8 +329,8 @@ func runA1(seed uint64) error {
 	return nil
 }
 
-func runA2(seed uint64) error {
-	r, err := experiments.AblationStrategy(seed)
+func runA2(cfg benchConfig) error {
+	r, err := experiments.AblationStrategy(cfg.seed)
 	if err != nil {
 		return err
 	}
@@ -298,8 +340,8 @@ func runA2(seed uint64) error {
 	return nil
 }
 
-func runA4(seed uint64) error {
-	rows, err := experiments.AblationOffsetSize(seed)
+func runA4(cfg benchConfig) error {
+	rows, err := experiments.AblationOffsetSize(cfg.seed)
 	if err != nil {
 		return err
 	}
@@ -310,8 +352,8 @@ func runA4(seed uint64) error {
 	return nil
 }
 
-func runR1(seed uint64) error {
-	r, err := experiments.MeasureAttackSuccess(seed*1000, 5)
+func runR1(cfg benchConfig) error {
+	r, err := experiments.MeasureAttackSuccessNoise(context.Background(), cfg.seed*1000, 5, 0, cfg.noise)
 	if err != nil {
 		return err
 	}
@@ -362,10 +404,14 @@ func medianRecord(recs []BenchRecord) BenchRecord {
 	}
 }
 
-// checkBaseline compares a fresh artifact against a committed one. Only
-// allocs/op gates (deterministic); ns/op deltas are reported for
-// context. The tolerance absorbs rounding from iteration-count changes.
-func checkBaseline(artifact map[string]BenchRecord, path string) error {
+// checkBaseline compares a fresh artifact against a committed one.
+// Two gates fail the run: allocs/op beyond 2% of the baseline
+// (deterministic, so the tolerance only absorbs rounding from
+// iteration-count changes), and median ns/op beyond nsGatePct percent
+// — the -count medians on both sides are what make a wall-clock gate
+// tenable at all; nsGatePct <= 0 turns the wall-clock gate back into a
+// report-only column for hosts that cannot hold a stable clock.
+func checkBaseline(artifact map[string]BenchRecord, path string, nsGatePct float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -379,38 +425,49 @@ func checkBaseline(artifact map[string]BenchRecord, path string) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	regressed := false
+	var failures []string
 	for _, name := range names {
 		b := base[name]
 		cur, ok := artifact[name]
 		if !ok {
 			fmt.Printf("%-18s MISSING from this run (baseline %d allocs/op)\n", name, b.AllocsPerOp)
-			regressed = true
+			failures = append(failures, name+" missing")
 			continue
 		}
-		limit := float64(b.AllocsPerOp) * 1.02
+		allocLimit := float64(b.AllocsPerOp) * 1.02
 		status := "ok"
-		if float64(cur.AllocsPerOp) > limit {
+		if float64(cur.AllocsPerOp) > allocLimit {
 			status = "ALLOC REGRESSION"
-			regressed = true
+			failures = append(failures, fmt.Sprintf("%s allocs/op %d -> %d", name, b.AllocsPerOp, cur.AllocsPerOp))
 		}
-		fmt.Printf("%-18s allocs/op %d -> %d (limit %.0f) %-17s ns/op %d -> %d (%+.1f%%, informational)\n",
-			name, b.AllocsPerOp, cur.AllocsPerOp, limit, status,
-			b.NsPerOp, cur.NsPerOp, 100*float64(cur.NsPerOp-b.NsPerOp)/float64(b.NsPerOp))
+		nsDelta := 100 * float64(cur.NsPerOp-b.NsPerOp) / float64(b.NsPerOp)
+		nsStatus := "gated"
+		if nsGatePct <= 0 {
+			nsStatus = "informational"
+		} else if nsDelta > nsGatePct {
+			status = "NS REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s ns/op %d -> %d (%+.1f%%)", name, b.NsPerOp, cur.NsPerOp, nsDelta))
+		}
+		fmt.Printf("%-18s allocs/op %d -> %d (limit %.0f) %-16s ns/op %d -> %d (%+.1f%%, %s)\n",
+			name, b.AllocsPerOp, cur.AllocsPerOp, allocLimit, status,
+			b.NsPerOp, cur.NsPerOp, nsDelta, nsStatus)
 	}
-	if regressed {
-		return fmt.Errorf("allocs/op regressed beyond 2%% of %s", path)
+	if len(failures) > 0 {
+		return fmt.Errorf("regressed beyond the baseline %s: %v", path, failures)
 	}
 	return nil
 }
 
 // runJSONBench measures the five end-to-end attacks with testing.Benchmark
-// and writes the artifact. Each closure reports the oracle-query count of
-// its last run as a custom metric, mirroring bench_test.go.
-func runJSONBench(seed uint64, out, baseline string, count int) error {
+// under cfg.noise and writes the artifact. Each closure reports the
+// oracle-query count of its last run as a custom metric, mirroring
+// bench_test.go.
+func runJSONBench(cfg benchConfig) error {
+	count := cfg.count
 	if count < 1 {
 		count = 1
 	}
+	seed, noise := cfg.seed, cfg.noise
 	ctx := context.Background()
 	benches := []struct {
 		name string
@@ -419,7 +476,7 @@ func runJSONBench(seed uint64, out, baseline string, count int) error {
 		{"AttackSeqPair", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r, err := experiments.RunSeqPairAttack(ctx, seed+uint64(i)*3+5, true)
+				r, err := experiments.RunSeqPairAttackNoise(ctx, seed+uint64(i)*3+5, true, noise)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -429,7 +486,7 @@ func runJSONBench(seed uint64, out, baseline string, count int) error {
 		{"AttackTempCo", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r, err := experiments.RunTempCoAttack(ctx, seed+uint64(i)*3+7)
+				r, err := experiments.RunTempCoAttackNoise(ctx, seed+uint64(i)*3+7, noise)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -439,7 +496,7 @@ func runJSONBench(seed uint64, out, baseline string, count int) error {
 		{"AttackGroupBased", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r, err := experiments.RunGroupBasedAttack(ctx, seed+uint64(i)*3+9)
+				r, err := experiments.RunGroupBasedAttackNoise(ctx, seed+uint64(i)*3+9, noise)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -449,7 +506,7 @@ func runJSONBench(seed uint64, out, baseline string, count int) error {
 		{"AttackMasking", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r, err := experiments.RunMaskingAttack(ctx, seed+uint64(i)*3+11)
+				r, err := experiments.RunMaskingAttackNoise(ctx, seed+uint64(i)*3+11, noise)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -459,7 +516,7 @@ func runJSONBench(seed uint64, out, baseline string, count int) error {
 		{"AttackChain", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r, err := experiments.RunChainAttack(ctx, seed+uint64(i)*3+13)
+				r, err := experiments.RunChainAttackNoise(ctx, seed+uint64(i)*3+13, noise)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -467,6 +524,7 @@ func runJSONBench(seed uint64, out, baseline string, count int) error {
 			}
 		}},
 	}
+	fmt.Printf("noise model: %s\n", noise)
 	artifact := make(map[string]BenchRecord, len(benches))
 	for _, bench := range benches {
 		recs := make([]BenchRecord, 0, count)
@@ -495,12 +553,12 @@ func runJSONBench(seed uint64, out, baseline string, count int) error {
 		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(out, data, 0o644); err != nil {
+	if err := os.WriteFile(cfg.jsonOut, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", out)
-	if baseline != "" {
-		return checkBaseline(artifact, baseline)
+	fmt.Printf("wrote %s\n", cfg.jsonOut)
+	if cfg.baseline != "" {
+		return checkBaseline(artifact, cfg.baseline, cfg.nsGatePct)
 	}
 	return nil
 }

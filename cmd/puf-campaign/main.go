@@ -12,6 +12,13 @@
 //	puf-campaign -list
 //	puf-campaign -task attack-success -seeds 64 -workers 8
 //	puf-campaign -task seqpair-attack -seeds 100 -base 42 -json
+//	puf-campaign -task groupbased-attack -noise stream
+//
+// Attack-backed tasks enroll their devices under the silicon noise
+// model named by -noise. The default is the counter-mode model (O(k)
+// sparse oracle queries); -noise stream selects the legacy
+// sequential-stream model whose transcripts match the historical
+// goldens.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/campaign"
 	_ "repro/internal/experiments" // registers every experiment task
+	"repro/internal/silicon"
 )
 
 func main() {
@@ -34,6 +42,7 @@ func main() {
 	seeds := flag.Int("seeds", 16, "number of derived seeds (task instances)")
 	base := flag.Uint64("base", 1, "campaign base seed")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	noise := flag.String("noise", "counter", "silicon noise model for attack-backed tasks: counter or stream")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON")
 	verbose := flag.Bool("v", false, "also print per-seed outcomes")
 	flag.Parse()
@@ -55,6 +64,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Validate the noise-model name up front (the same early exit the
+	// sibling CLIs give), rather than failing inside the first task —
+	// or, for tasks that ignore the option, not at all.
+	if _, err := silicon.ParseNoiseModel(*noise); err != nil {
+		fmt.Fprintln(os.Stderr, "puf-campaign:", err)
+		os.Exit(2)
+	}
+
 	// Ctrl-C cancels the campaign cleanly mid-run.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -65,6 +82,7 @@ func main() {
 		BaseSeed: *base,
 		Seeds:    *seeds,
 		Workers:  *workers,
+		Options:  campaign.Options{Noise: *noise},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "puf-campaign:", err)
@@ -82,8 +100,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("campaign %s: %d seeds (base %d), %d workers, %s\n",
-		res.Task, res.Seeds, res.BaseSeed, res.Workers, elapsed.Round(time.Millisecond))
+	fmt.Printf("campaign %s: %d seeds (base %d), %d workers, noise=%s, %s\n",
+		res.Task, res.Seeds, res.BaseSeed, res.Workers, *noise, elapsed.Round(time.Millisecond))
 	if *verbose {
 		for _, o := range res.Outcomes {
 			fmt.Printf("  seed[%3d] = %#016x: %v\n", o.Index, o.Seed, o.Metrics)

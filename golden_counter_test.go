@@ -1,0 +1,119 @@
+package repro
+
+// Counter-mode seed-behavior goldens, the companion of
+// golden_seed_test.go. The counter noise model keys every measurement
+// variate by (noise seed, sweep counter, oscillator index) instead of a
+// sequential stream position, so its transcripts are a NEW determinism
+// contract — legitimately different from the stream goldens — and these
+// values pin it: captured from the first counter-mode implementation,
+// they must reproduce bit-for-bit on any host, at any parallelism, for
+// as long as the contract holds. A drift here means the counter
+// derivation (rng.BlockNorm keying, sweep accounting, sparse index
+// sets) changed observable behavior, not just speed.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/silicon"
+)
+
+func TestGoldenCounterSeqPairAttackTranscripts(t *testing.T) {
+	want := []struct {
+		seed      uint64
+		queries   int
+		recovered bool
+		keyBits   int
+	}{
+		{5, 248, true, 64},
+		{8, 230, true, 64},
+		{11, 240, true, 64},
+	}
+	for _, w := range want {
+		r, err := experiments.RunSeqPairAttackNoise(context.Background(), w.seed, true, silicon.NoiseCounter)
+		if err != nil {
+			t.Fatalf("seed %d: %v", w.seed, err)
+		}
+		if r.Queries != w.queries || r.Recovered != w.recovered || r.KeyBits != w.keyBits {
+			t.Errorf("seed %d: got (queries=%d recovered=%v bits=%d), want (%d %v %d)",
+				w.seed, r.Queries, r.Recovered, r.KeyBits, w.queries, w.recovered, w.keyBits)
+		}
+	}
+}
+
+func TestGoldenCounterGroupBasedAttackTranscripts(t *testing.T) {
+	want := []struct {
+		seed      uint64
+		queries   int
+		recovered bool
+		keyBits   int
+	}{
+		{9, 246, true, 57},
+		{12, 268, true, 61},
+		{15, 242, true, 55},
+	}
+	for _, w := range want {
+		r, err := experiments.RunGroupBasedAttackNoise(context.Background(), w.seed, silicon.NoiseCounter)
+		if err != nil {
+			t.Fatalf("seed %d: %v", w.seed, err)
+		}
+		if r.Queries != w.queries || r.Recovered != w.recovered || r.KeyBits != w.keyBits {
+			t.Errorf("seed %d: got (queries=%d recovered=%v bits=%d), want (%d %v %d)",
+				w.seed, r.Queries, r.Recovered, r.KeyBits, w.queries, w.recovered, w.keyBits)
+		}
+	}
+}
+
+func TestGoldenCounterMaskingAndChainAttackTranscripts(t *testing.T) {
+	masking := []struct {
+		seed    uint64
+		queries int
+	}{{11, 72}, {14, 58}, {17, 62}}
+	for _, w := range masking {
+		r, err := experiments.RunMaskingAttackNoise(context.Background(), w.seed, silicon.NoiseCounter)
+		if err != nil {
+			t.Fatalf("masking seed %d: %v", w.seed, err)
+		}
+		if r.Queries != w.queries || !r.Recovered {
+			t.Errorf("masking seed %d: got (queries=%d recovered=%v), want (%d true)",
+				w.seed, r.Queries, r.Recovered, w.queries)
+		}
+	}
+	chain := []struct {
+		seed    uint64
+		queries int
+	}{{13, 122}, {16, 176}, {19, 144}}
+	for _, w := range chain {
+		r, err := experiments.RunChainAttackNoise(context.Background(), w.seed, silicon.NoiseCounter)
+		if err != nil {
+			t.Fatalf("chain seed %d: %v", w.seed, err)
+		}
+		if r.Queries != w.queries || !r.Recovered {
+			t.Errorf("chain seed %d: got (queries=%d recovered=%v), want (%d true)",
+				w.seed, r.Queries, r.Recovered, w.queries)
+		}
+	}
+}
+
+func TestGoldenCounterTempCoAttackTranscripts(t *testing.T) {
+	want := []struct {
+		seed              uint64
+		queries           int
+		relFound, relOkay int
+	}{
+		{7, 88, 12, 12},
+		{10, 72, 9, 9},
+		{13, 82, 12, 12},
+	}
+	for _, w := range want {
+		r, err := experiments.RunTempCoAttackNoise(context.Background(), w.seed, silicon.NoiseCounter)
+		if err != nil {
+			t.Fatalf("seed %d: %v", w.seed, err)
+		}
+		if r.Queries != w.queries || r.RelationsFound != w.relFound || r.RelationsRight != w.relOkay {
+			t.Errorf("seed %d: got (queries=%d found=%d right=%d), want (%d %d %d)",
+				w.seed, r.Queries, r.RelationsFound, r.RelationsRight, w.queries, w.relFound, w.relOkay)
+		}
+	}
+}

@@ -116,6 +116,7 @@ func (t *seqPairTarget) Spec() Spec {
 		Construction: "seqpair",
 		Code:         t.d.Code(),
 		AmbientC:     t.d.Environment().TempC,
+		Noise:        t.d.NoiseModel().String(),
 	}
 }
 
@@ -154,6 +155,7 @@ func (t *tempCoTarget) Spec() Spec {
 		Construction: "tempco",
 		Code:         t.d.Params().Code,
 		AmbientC:     t.d.Environment().TempC,
+		Noise:        t.d.NoiseModel().String(),
 	}
 }
 
@@ -191,6 +193,7 @@ func (t *groupBasedTarget) Spec() Spec {
 		Cols:         p.Cols,
 		Code:         p.Code,
 		AmbientC:     t.d.Environment().TempC,
+		Noise:        t.d.NoiseModel().String(),
 	}
 }
 
@@ -236,6 +239,7 @@ func (t *distillerTarget) Spec() Spec {
 		Cols:         p.Cols,
 		Code:         p.Code,
 		AmbientC:     t.d.Environment().TempC,
+		Noise:        t.d.NoiseModel().String(),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/groupbased"
 	"repro/internal/pairing"
 	"repro/internal/rng"
+	"repro/internal/silicon"
 )
 
 func seqPairDevice(t testing.TB, seed uint64) *device.SeqPairDevice {
@@ -277,4 +278,48 @@ func benchName(workers int) string {
 		return "workers=1"
 	}
 	return "workers=numcpu"
+}
+
+// TestBatchTargetWorkerInvarianceCounter repeats the worker-invariance
+// check under the counter noise model: per-arm noise keys derive from
+// the fork seed alone, so batched evaluation must stay bit-identical at
+// any parallelism without any stream replay.
+func TestBatchTargetWorkerInvarianceCounter(t *testing.T) {
+	newTarget := func() Target {
+		d, err := device.EnrollSeqPair(device.SeqPairParams{
+			Rows: 8, Cols: 16,
+			ThresholdMHz: 0.8,
+			Policy:       pairing.RandomizedStorage,
+			Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3, Expurgate: true}),
+			EnrollReps:   20,
+			Noise:        silicon.NoiseCounter,
+		}, rng.New(21), rng.New(22))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewSeqPairTarget(d)
+	}
+	run := func(workers int) (string, int) {
+		bt, err := NewBatchTarget(newTarget(), workers, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(context.Background(), "seqpair", bt, Options{Dist: DefaultDistinguisher()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := bt.Spec().Noise, "counter"; got != want {
+			t.Fatalf("spec noise = %q, want %q", got, want)
+		}
+		return rep.Key.String(), rep.Queries
+	}
+	baseKey, baseQ := run(1)
+	if baseKey == "" {
+		t.Fatal("empty key")
+	}
+	for _, workers := range []int{2, 8} {
+		if key, q := run(workers); key != baseKey || q != baseQ {
+			t.Fatalf("workers=%d diverged: (%s, %d) vs (%s, %d)", workers, key, q, baseKey, baseQ)
+		}
+	}
 }

@@ -28,6 +28,18 @@ import (
 // recovery indicator, an oracle-query count, a variance, ...).
 type Metrics map[string]float64
 
+// Options carries cross-cutting execution options delivered to every
+// task instance of a campaign. Tasks read the fields that apply to
+// them and ignore the rest; the zero value always means the task's
+// legacy default. The engine itself never interprets these — keeping
+// it free of experiment-domain dependencies.
+type Options struct {
+	// Noise names the silicon measurement-noise model attack-backed
+	// tasks should enroll their devices under ("stream" or "counter";
+	// empty = the task default, stream).
+	Noise string
+}
+
 // Task is one registered experiment entry point behind the uniform
 // Spec → Result interface.
 type Task struct {
@@ -43,12 +55,13 @@ type Task struct {
 	// deliberately not done: a count metric that happens to be all 0s
 	// and 1s over a small campaign must not masquerade as a proportion.
 	Binary []string
-	// Run executes the experiment for one derived seed. The context is
-	// the campaign's: long tasks that fan out internally should pass it
-	// down so cancellation reaches them mid-task. Run must be safe to
-	// call concurrently from multiple goroutines (all repository
-	// experiments are: their state is rooted in per-call rng.Sources).
-	Run func(ctx context.Context, seed uint64) (Metrics, error)
+	// Run executes the experiment for one derived seed under the
+	// campaign's options. The context is the campaign's: long tasks
+	// that fan out internally should pass it down so cancellation
+	// reaches them mid-task. Run must be safe to call concurrently from
+	// multiple goroutines (all repository experiments are: their state
+	// is rooted in per-call rng.Sources).
+	Run func(ctx context.Context, seed uint64, opt Options) (Metrics, error)
 }
 
 // Spec selects a task and shapes one campaign over it.
@@ -62,6 +75,8 @@ type Spec struct {
 	Seeds int
 	// Workers bounds the goroutine pool (0 = GOMAXPROCS).
 	Workers int
+	// Options is handed to every task instance verbatim.
+	Options Options
 }
 
 // Outcome is one completed task instance.
@@ -221,7 +236,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	outcomes := make([]Outcome, spec.Seeds)
 	err := ForEach(ctx, spec.Seeds, spec.Workers, func(taskCtx context.Context, i int) error {
 		seed := rng.StreamSeed(spec.BaseSeed, uint64(i))
-		m, err := task.Run(taskCtx, seed)
+		m, err := task.Run(taskCtx, seed, spec.Options)
 		if err != nil {
 			return fmt.Errorf("%s seed %#x: %w", task.Name, seed, err)
 		}

@@ -20,7 +20,7 @@ func init() {
 		Name:   "test-walk",
 		Desc:   "deterministic random walk (test fixture)",
 		Binary: []string{"recovered"},
-		Run: func(_ context.Context, seed uint64) (Metrics, error) {
+		Run: func(_ context.Context, seed uint64, _ Options) (Metrics, error) {
 			src := rng.New(seed)
 			var sum float64
 			for i := 0; i < 1000; i++ {
@@ -39,7 +39,7 @@ func init() {
 	Register(Task{
 		Name: "test-fail-on-odd-seed",
 		Desc: "fails for odd derived seeds (test fixture)",
-		Run: func(_ context.Context, seed uint64) (Metrics, error) {
+		Run: func(_ context.Context, seed uint64, _ Options) (Metrics, error) {
 			if seed%2 == 1 {
 				return nil, fmt.Errorf("odd seed %#x", seed)
 			}
@@ -177,5 +177,5 @@ func TestRegisterRejectsDuplicates(t *testing.T) {
 			t.Fatal("expected panic on duplicate registration")
 		}
 	}()
-	Register(Task{Name: "test-walk", Run: func(context.Context, uint64) (Metrics, error) { return nil, nil }})
+	Register(Task{Name: "test-walk", Run: func(context.Context, uint64, Options) (Metrics, error) { return nil, nil }})
 }

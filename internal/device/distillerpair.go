@@ -54,6 +54,9 @@ type DistillerPairParams struct {
 	K          int
 	Code       ecc.Code
 	EnrollReps int
+	// Noise selects the silicon measurement-noise model; the zero value
+	// is the legacy sequential-stream model.
+	Noise silicon.NoiseModelKind
 }
 
 // DistillerPairHelperNVM is the complete helper NVM of the construction:
@@ -78,7 +81,10 @@ type DistillerPairDevice struct {
 	bound    bitvec.Vector
 	boundBuf bitvec.Vector
 	src      *rng.Source
-	scratch  distillerScratch
+	// noise is the per-oracle measurement-noise state; Fork builds a
+	// fresh one per clone.
+	noise   silicon.NoiseModel
+	scratch distillerScratch
 }
 
 // distillerScratch is the device's reusable reconstruction state:
@@ -93,11 +99,18 @@ type distillerScratch struct {
 	sel         []pairing.Pair
 	selBuf      []pairing.Pair
 	selErr      error
-	blocks      int
-	block       *ecc.Block
-	padded      bitvec.Vector
-	recovered   bitvec.Vector
-	ws          ecc.Workspace
+	// idxs lists, ascending, the oscillators the resolved pair list
+	// references — the sparse measurement set (O(k) noise draws under
+	// the counter model). Empty while the masking selection is invalid.
+	idxs []int
+	want []bool
+	// bases caches the noise-free frequency vector per environment.
+	bases     silicon.BaseCache
+	blocks    int
+	block     *ecc.Block
+	padded    bitvec.Vector
+	recovered bitvec.Vector
+	ws        ecc.Workspace
 	// content fingerprints of the helper-derived caches: a helper write
 	// that changes only the ECC offset (an attack arm's hypothesis sweep)
 	// skips the grid evaluation and masking resolution entirely.
@@ -140,6 +153,25 @@ func (d *DistillerPairDevice) refreshScratch() {
 	default:
 		sc.sel, sc.selErr = d.basePair, nil
 	}
+	if cap(sc.want) < n {
+		sc.want = make([]bool, n)
+	}
+	sc.want = sc.want[:n]
+	for i := range sc.want {
+		sc.want[i] = false
+	}
+	sc.idxs = sc.idxs[:0]
+	if sc.selErr == nil {
+		for _, p := range sc.sel {
+			sc.want[p.A] = true
+			sc.want[p.B] = true
+		}
+		for i, wanted := range sc.want {
+			if wanted {
+				sc.idxs = append(sc.idxs, i)
+			}
+		}
+	}
 	cn := d.params.Code.N()
 	blocks := (len(sc.sel) + cn - 1) / cn
 	if blocks == 0 {
@@ -161,9 +193,12 @@ func EnrollDistillerPair(p DistillerPairParams, srcMfg, srcRun *rng.Source) (*Di
 	if p.Code == nil || p.EnrollReps < 1 {
 		return nil, fmt.Errorf("device: invalid distiller-pair params")
 	}
-	arr := silicon.NewArray(silicon.DefaultConfig(p.Rows, p.Cols), srcMfg)
+	cfg := silicon.DefaultConfig(p.Rows, p.Cols)
+	cfg.Noise = p.Noise
+	arr := silicon.NewArray(cfg, srcMfg)
 	env := arr.Config().NominalEnv()
-	f := arr.MeasureAveraged(env, srcRun, p.EnrollReps)
+	noise := arr.NewNoise(srcRun)
+	f := arr.MeasureAveragedWith(env, noise, p.EnrollReps)
 	poly, err := distiller.Fit(p.Rows, p.Cols, f, p.Degree)
 	if err != nil {
 		return nil, err
@@ -175,6 +210,7 @@ func EnrollDistillerPair(p DistillerPairParams, srcMfg, srcRun *rng.Source) (*Di
 		arr:    arr,
 		params: p,
 		src:    srcRun,
+		noise:  noise,
 	}
 	var mask pairing.MaskingHelper
 	switch p.Mode {
@@ -287,8 +323,8 @@ func (d *DistillerPairDevice) reconstructScratch() (respLen int, err error) {
 	if !sc.helperValid {
 		d.refreshScratch()
 	}
-	f := d.arr.MeasureInto(sc.freq, d.env, d.src)
-	sc.resid = distiller.DistillWithGrid(sc.resid, f, sc.grid)
+	f := d.arr.MeasureSparseBase(sc.freq, sc.idxs, sc.bases.For(d.arr, d.env), d.noise)
+	sc.resid = distiller.DistillSparse(sc.resid, f, sc.grid, sc.idxs)
 	if sc.selErr != nil {
 		return 0, sc.selErr
 	}
@@ -332,9 +368,14 @@ func (d *DistillerPairDevice) Fork(seed uint64) *DistillerPairDevice {
 		bound:    d.bound.Clone(),
 		src:      rng.New(seed),
 	}
+	f.noise = d.arr.NewNoise(f.src)
 	f.env = d.env
 	return f
 }
+
+// NoiseModel reports the silicon noise model the oracle runs under
+// (public device specification).
+func (d *DistillerPairDevice) NoiseModel() silicon.NoiseModelKind { return d.params.Noise }
 
 // Params exposes the public device specification.
 func (d *DistillerPairDevice) Params() DistillerPairParams { return d.params }

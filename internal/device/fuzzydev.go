@@ -23,6 +23,8 @@ type FuzzyDevice struct {
 	nvm    fuzzy.Helper
 	key    []byte
 	src    *rng.Source
+	// noise is the per-oracle measurement-noise state.
+	noise silicon.NoiseModel
 }
 
 // FuzzyParams configures a fuzzy-extractor device.
@@ -30,6 +32,9 @@ type FuzzyParams struct {
 	Rows, Cols int
 	Extractor  fuzzy.Params
 	EnrollReps int
+	// Noise selects the silicon measurement-noise model; the zero value
+	// is the legacy sequential-stream model.
+	Noise silicon.NoiseModelKind
 }
 
 // EnrollFuzzy manufactures and enrolls a device.
@@ -37,10 +42,13 @@ func EnrollFuzzy(p FuzzyParams, srcMfg, srcRun *rng.Source) (*FuzzyDevice, error
 	if p.EnrollReps < 1 {
 		return nil, fmt.Errorf("device: enrollment reps %d < 1", p.EnrollReps)
 	}
-	arr := silicon.NewArray(silicon.DefaultConfig(p.Rows, p.Cols), srcMfg)
+	cfg := silicon.DefaultConfig(p.Rows, p.Cols)
+	cfg.Noise = p.Noise
+	arr := silicon.NewArray(cfg, srcMfg)
 	env := arr.Config().NominalEnv()
 	pairs := pairing.ChainPairs(p.Rows, p.Cols, false)
-	f := arr.MeasureAveraged(env, srcRun, p.EnrollReps)
+	noise := arr.NewNoise(srcRun)
+	f := arr.MeasureAveragedWith(env, noise, p.EnrollReps)
 	resp := pairing.Responses(f, pairs)
 	h, key, err := fuzzy.Enroll(resp, p.Extractor, srcRun)
 	if err != nil {
@@ -54,6 +62,7 @@ func EnrollFuzzy(p FuzzyParams, srcMfg, srcRun *rng.Source) (*FuzzyDevice, error
 		nvm:    h,
 		key:    key,
 		src:    srcRun,
+		noise:  noise,
 	}, nil
 }
 
@@ -74,7 +83,7 @@ func (d *FuzzyDevice) WriteHelper(h fuzzy.Helper) error {
 // App reconstructs and compares against the enrolled key.
 func (d *FuzzyDevice) App() bool {
 	d.addQuery()
-	f := d.arr.MeasureAll(d.env, d.src)
+	f := d.arr.MeasureAllWith(d.env, d.noise)
 	resp := pairing.Responses(f, d.pairs)
 	got, err := fuzzy.Reconstruct(resp, d.params.Extractor, d.nvm)
 	return err == nil && bytes.Equal(got, d.key)

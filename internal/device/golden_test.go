@@ -13,6 +13,7 @@ import (
 	"repro/internal/groupbased"
 	"repro/internal/pairing"
 	"repro/internal/rng"
+	"repro/internal/silicon"
 	"repro/internal/tempco"
 )
 
@@ -73,6 +74,37 @@ func TestGoldenEnrolledKeys(t *testing.T) {
 	}
 	if got, want := ch.TrueKey().String(), "000111101001110101101001110011110010100"; got != want {
 		t.Errorf("chain key drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestGoldenCounterEnrolledKey pins the counter-mode enrollment
+// contract (NewNoise key draw, rep-major averaged sweeps): a NEW
+// contract with its own golden, alongside — not replacing — the stream
+// goldens above.
+func TestGoldenCounterEnrolledKey(t *testing.T) {
+	sp, err := EnrollSeqPair(SeqPairParams{
+		Rows: 8, Cols: 16, ThresholdMHz: 0.8,
+		Policy:     pairing.RandomizedStorage,
+		Code:       ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3, Expurgate: true}),
+		EnrollReps: 20,
+		Noise:      silicon.NoiseCounter,
+	}, rng.New(42), rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sp.TrueKey().String(), "0001111001001111001100100010101010110100111101011110000010011000"; got != want {
+		t.Errorf("counter-mode seqpair key drifted:\n got %s\nwant %s", got, want)
+	}
+	// Forked oracles derive their counter key from the fork seed alone;
+	// an untouched helper must keep reconstructing the enrolled key.
+	f := sp.Fork(777)
+	for i := 0; i < 32; i++ {
+		if !f.App() {
+			t.Fatalf("counter fork777 App #%d failed; seed capture had an all-success stream", i)
+		}
+	}
+	if f.Queries() != 32 || sp.Queries() != 0 {
+		t.Fatalf("fork query isolation broken: fork=%d parent=%d", f.Queries(), sp.Queries())
 	}
 }
 

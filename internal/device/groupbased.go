@@ -33,6 +33,9 @@ type GroupBasedDevice struct {
 	bound    bitvec.Vector
 	boundBuf bitvec.Vector
 	src      *rng.Source
+	// noise is the per-oracle measurement-noise state; Fork builds a
+	// fresh one per clone.
+	noise silicon.NoiseModel
 	// scratch is the reusable reconstruction state (see
 	// groupbased.Scratch); per-device, not concurrency-safe — Fork
 	// clones the device so each concurrent arm owns its own.
@@ -41,8 +44,11 @@ type GroupBasedDevice struct {
 
 // EnrollGroupBased manufactures and enrolls a device.
 func EnrollGroupBased(p groupbased.Params, srcMfg, srcRun *rng.Source) (*GroupBasedDevice, error) {
-	arr := silicon.NewArray(silicon.DefaultConfig(p.Rows, p.Cols), srcMfg)
-	h, key, err := groupbased.Enroll(arr, p, srcRun)
+	cfg := silicon.DefaultConfig(p.Rows, p.Cols)
+	cfg.Noise = p.Noise
+	arr := silicon.NewArray(cfg, srcMfg)
+	noise := arr.NewNoise(srcRun)
+	h, key, err := groupbased.EnrollWith(arr, p, srcRun, noise)
 	if err != nil {
 		return nil, err
 	}
@@ -54,6 +60,7 @@ func EnrollGroupBased(p groupbased.Params, srcMfg, srcRun *rng.Source) (*GroupBa
 		enrolled: key,
 		bound:    key,
 		src:      srcRun,
+		noise:    noise,
 	}, nil
 }
 
@@ -108,7 +115,7 @@ func (d *GroupBasedDevice) WriteHelper(h groupbased.Helper) error {
 // keep the write's observable side effects (binding and noise-stream
 // consumption) without re-parsing the image.
 func (d *GroupBasedDevice) ReprovisionKey() {
-	if key, err := groupbased.ReconstructInto(d.arr, d.params, &d.nvm, d.env, d.src, &d.scratch); err == nil {
+	if key, err := groupbased.ReconstructWith(d.arr, d.params, &d.nvm, d.env, d.noise, &d.scratch); err == nil {
 		d.bound = setBound(&d.boundBuf, key)
 	} else {
 		d.bound = bitvec.Vector{}
@@ -125,7 +132,7 @@ func (d *GroupBasedDevice) BindKey(key bitvec.Vector) { d.bound = setBound(&d.bo
 // buffers (see SeqPairDevice.App for the determinism contract).
 func (d *GroupBasedDevice) App() bool {
 	d.addQuery()
-	got, err := groupbased.ReconstructInto(d.arr, d.params, &d.nvm, d.env, d.src, &d.scratch)
+	got, err := groupbased.ReconstructWith(d.arr, d.params, &d.nvm, d.env, d.noise, &d.scratch)
 	return err == nil && d.bound.Len() > 0 && keysEqual(got, d.bound)
 }
 
@@ -133,7 +140,7 @@ func (d *GroupBasedDevice) App() bool {
 // original enrollment key.
 func (d *GroupBasedDevice) AppOriginal() bool {
 	d.addQuery()
-	got, err := groupbased.ReconstructInto(d.arr, d.params, &d.nvm, d.env, d.src, &d.scratch)
+	got, err := groupbased.ReconstructWith(d.arr, d.params, &d.nvm, d.env, d.noise, &d.scratch)
 	return err == nil && keysEqual(got, d.enrolled)
 }
 
@@ -152,9 +159,14 @@ func (d *GroupBasedDevice) Fork(seed uint64) *GroupBasedDevice {
 		bound:    d.bound.Clone(),
 		src:      rng.New(seed),
 	}
+	f.noise = d.arr.NewNoise(f.src)
 	f.env = d.env
 	return f
 }
+
+// NoiseModel reports the silicon noise model the oracle runs under
+// (public device specification).
+func (d *GroupBasedDevice) NoiseModel() silicon.NoiseModelKind { return d.params.Noise }
 
 // Params exposes the public device specification.
 func (d *GroupBasedDevice) Params() groupbased.Params { return d.params }

@@ -17,6 +17,9 @@ type SeqPairParams struct {
 	Policy       pairing.StoragePolicy
 	Code         ecc.Code
 	EnrollReps   int
+	// Noise selects the silicon measurement-noise model; the zero value
+	// is the legacy sequential-stream model.
+	Noise silicon.NoiseModelKind
 }
 
 // SeqPairHelperNVM is the construction's complete helper NVM content.
@@ -28,11 +31,14 @@ type SeqPairHelperNVM struct {
 // SeqPairDevice is a deployed LISA device.
 type SeqPairDevice struct {
 	base
-	arr     *silicon.Array
-	params  SeqPairParams
-	nvm     SeqPairHelperNVM
-	key     bitvec.Vector // enrolled key (secret, drives the observable)
-	src     *rng.Source
+	arr    *silicon.Array
+	params SeqPairParams
+	nvm    SeqPairHelperNVM
+	key    bitvec.Vector // enrolled key (secret, drives the observable)
+	src    *rng.Source
+	// noise is the per-oracle measurement-noise state (stream source or
+	// counter-mode sweep counter); Fork builds a fresh one per clone.
+	noise   silicon.NoiseModel
 	scratch seqPairScratch
 }
 
@@ -46,6 +52,8 @@ type seqPairScratch struct {
 	helperValid bool
 	freq        []float64
 	want        []bool
+	idxs        []int
+	bases       silicon.BaseCache
 	blocks      int
 	block       *ecc.Block
 	padded      bitvec.Vector
@@ -70,6 +78,12 @@ func (d *SeqPairDevice) refreshScratch() {
 		sc.want[p.A] = true
 		sc.want[p.B] = true
 	}
+	sc.idxs = sc.idxs[:0]
+	for i, wanted := range sc.want {
+		if wanted {
+			sc.idxs = append(sc.idxs, i)
+		}
+	}
 	cn := d.params.Code.N()
 	blocks := (len(d.nvm.Pairs.Pairs) + cn - 1) / cn
 	if blocks == 0 {
@@ -93,9 +107,12 @@ func EnrollSeqPair(p SeqPairParams, srcMfg, srcRun *rng.Source) (*SeqPairDevice,
 	if p.Code == nil || p.EnrollReps < 1 {
 		return nil, fmt.Errorf("device: invalid seqpair params %+v", p)
 	}
-	arr := silicon.NewArray(silicon.DefaultConfig(p.Rows, p.Cols), srcMfg)
+	cfg := silicon.DefaultConfig(p.Rows, p.Cols)
+	cfg.Noise = p.Noise
+	arr := silicon.NewArray(cfg, srcMfg)
 	env := arr.Config().NominalEnv()
-	f := arr.MeasureAveraged(env, srcRun, p.EnrollReps)
+	noise := arr.NewNoise(srcRun)
+	f := arr.MeasureAveragedWith(env, noise, p.EnrollReps)
 	helper := pairing.EnrollSeqPair(f, p.ThresholdMHz, p.Policy, srcRun)
 	if len(helper.Pairs) == 0 {
 		return nil, fmt.Errorf("device: enrollment selected no pairs (threshold %v too high)", p.ThresholdMHz)
@@ -111,6 +128,7 @@ func EnrollSeqPair(p SeqPairParams, srcMfg, srcRun *rng.Source) (*SeqPairDevice,
 		nvm:    SeqPairHelperNVM{Pairs: helper, Offset: off.W},
 		key:    resp,
 		src:    srcRun,
+		noise:  noise,
 	}
 	return d, nil
 }
@@ -170,7 +188,7 @@ func (d *SeqPairDevice) App() bool {
 	if !sc.helperValid {
 		d.refreshScratch()
 	}
-	f := d.arr.MeasureSubset(sc.freq, sc.want, d.env, d.src)
+	f := d.arr.MeasureSparseBase(sc.freq, sc.idxs, sc.bases.For(d.arr, d.env), d.noise)
 	pairs := d.nvm.Pairs.Pairs
 	if len(pairs) != d.key.Len() {
 		return false
@@ -207,9 +225,14 @@ func (d *SeqPairDevice) Fork(seed uint64) *SeqPairDevice {
 		key:    d.key.Clone(),
 		src:    rng.New(seed),
 	}
+	f.noise = d.arr.NewNoise(f.src)
 	f.env = d.env
 	return f
 }
+
+// NoiseModel reports the silicon noise model the oracle runs under
+// (public device specification).
+func (d *SeqPairDevice) NoiseModel() silicon.NoiseModelKind { return d.params.Noise }
 
 func padToBlocks(resp bitvec.Vector, code ecc.Code) (bitvec.Vector, int) {
 	n := code.N()

@@ -17,6 +17,9 @@ type TempCoDevice struct {
 	nvm    tempco.Helper
 	key    bitvec.Vector
 	src    *rng.Source
+	// noise is the per-oracle measurement-noise state; Fork builds a
+	// fresh one per clone.
+	noise silicon.NoiseModel
 	// scratch is the reusable reconstruction state (see tempco.Scratch);
 	// per-device, not concurrency-safe — Fork clones the device so each
 	// concurrent arm owns its own.
@@ -30,8 +33,10 @@ type TempCoDevice struct {
 func EnrollTempCo(p tempco.Params, srcMfg, srcRun *rng.Source) (*TempCoDevice, error) {
 	cfg := silicon.DefaultConfig(p.Rows, p.Cols)
 	cfg.TempCoefSigmaMHzPerC = 0.03
+	cfg.Noise = p.Noise
 	arr := silicon.NewArray(cfg, srcMfg)
-	h, key, err := tempco.Enroll(arr, p, srcRun)
+	noise := arr.NewNoise(srcRun)
+	h, key, err := tempco.EnrollWith(arr, p, srcRun, noise)
 	if err != nil {
 		return nil, err
 	}
@@ -42,6 +47,7 @@ func EnrollTempCo(p tempco.Params, srcMfg, srcRun *rng.Source) (*TempCoDevice, e
 		nvm:    h,
 		key:    key,
 		src:    srcRun,
+		noise:  noise,
 	}, nil
 }
 
@@ -82,7 +88,7 @@ func (d *TempCoDevice) WriteHelper(h tempco.Helper) error {
 // SeqPairDevice.App for the determinism contract).
 func (d *TempCoDevice) App() bool {
 	d.addQuery()
-	got, err := tempco.ReconstructInto(d.arr, d.params, &d.nvm, d.env, d.src, &d.scratch)
+	got, err := tempco.ReconstructWith(d.arr, d.params, &d.nvm, d.env, d.noise, &d.scratch)
 	return err == nil && keysEqual(got, d.key)
 }
 
@@ -99,9 +105,14 @@ func (d *TempCoDevice) Fork(seed uint64) *TempCoDevice {
 		key:    d.key.Clone(),
 		src:    rng.New(seed),
 	}
+	f.noise = d.arr.NewNoise(f.src)
 	f.env = d.env
 	return f
 }
+
+// NoiseModel reports the silicon noise model the oracle runs under
+// (public device specification).
+func (d *TempCoDevice) NoiseModel() silicon.NoiseModelKind { return d.params.Noise }
 
 // Params exposes the public device specification.
 func (d *TempCoDevice) Params() tempco.Params { return d.params }

@@ -253,8 +253,14 @@ type GroupAttackResult struct {
 
 // RunGroupBasedAttack enrolls a group-based device on the paper's 4x10
 // Fig. 6 array and runs the full key recovery through the attack
-// registry.
+// registry, under the legacy stream noise model.
 func RunGroupBasedAttack(ctx context.Context, seed uint64) (GroupAttackResult, error) {
+	return RunGroupBasedAttackNoise(ctx, seed, silicon.NoiseStream)
+}
+
+// RunGroupBasedAttackNoise is RunGroupBasedAttack under an explicit
+// silicon noise model.
+func RunGroupBasedAttackNoise(ctx context.Context, seed uint64, noise silicon.NoiseModelKind) (GroupAttackResult, error) {
 	d, err := device.EnrollGroupBased(groupbased.Params{
 		Rows: 4, Cols: 10,
 		Degree:       2,
@@ -262,6 +268,7 @@ func RunGroupBasedAttack(ctx context.Context, seed uint64) (GroupAttackResult, e
 		MaxGroupSize: 6,
 		Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
 		EnrollReps:   25,
+		Noise:        noise,
 	}, rng.New(seed), rng.New(seed+1))
 	if err != nil {
 		return GroupAttackResult{}, err
@@ -293,8 +300,15 @@ type MaskingAttackSummary struct {
 }
 
 // RunMaskingAttack enrolls a distiller + 1-out-of-5 masking device on the
-// 4x10 array and runs the Fig. 6b recovery through the attack registry.
+// 4x10 array and runs the Fig. 6b recovery through the attack registry,
+// under the legacy stream noise model.
 func RunMaskingAttack(ctx context.Context, seed uint64) (MaskingAttackSummary, error) {
+	return RunMaskingAttackNoise(ctx, seed, silicon.NoiseStream)
+}
+
+// RunMaskingAttackNoise is RunMaskingAttack under an explicit silicon
+// noise model.
+func RunMaskingAttackNoise(ctx context.Context, seed uint64, noise silicon.NoiseModelKind) (MaskingAttackSummary, error) {
 	d, err := device.EnrollDistillerPair(device.DistillerPairParams{
 		Rows: 4, Cols: 10,
 		Degree:     2,
@@ -302,6 +316,7 @@ func RunMaskingAttack(ctx context.Context, seed uint64) (MaskingAttackSummary, e
 		K:          5,
 		Code:       ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
 		EnrollReps: 25,
+		Noise:      noise,
 	}, rng.New(seed), rng.New(seed+1))
 	if err != nil {
 		return MaskingAttackSummary{}, err
@@ -333,14 +348,22 @@ type ChainAttackSummary struct {
 
 // RunChainAttack enrolls a distiller + overlapping chain device on the
 // 4x10 array and runs the Fig. 6c recovery (2^4 hypotheses at column
-// boundaries) through the attack registry.
+// boundaries) through the attack registry, under the legacy stream
+// noise model.
 func RunChainAttack(ctx context.Context, seed uint64) (ChainAttackSummary, error) {
+	return RunChainAttackNoise(ctx, seed, silicon.NoiseStream)
+}
+
+// RunChainAttackNoise is RunChainAttack under an explicit silicon noise
+// model.
+func RunChainAttackNoise(ctx context.Context, seed uint64, noise silicon.NoiseModelKind) (ChainAttackSummary, error) {
 	d, err := device.EnrollDistillerPair(device.DistillerPairParams{
 		Rows: 4, Cols: 10,
 		Degree:     2,
 		Mode:       device.OverlappingChain,
 		Code:       ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
 		EnrollReps: 25,
+		Noise:      noise,
 	}, rng.New(seed), rng.New(seed+1))
 	if err != nil {
 		return ChainAttackSummary{}, err
@@ -372,15 +395,23 @@ type SeqPairAttackSummary struct {
 }
 
 // RunSeqPairAttack enrolls a LISA device and runs the full §VI-A
-// recovery through the attack registry. expurgate selects the
-// even-weight BCH subcode, which removes the complement ambiguity.
+// recovery through the attack registry, under the legacy stream noise
+// model. expurgate selects the even-weight BCH subcode, which removes
+// the complement ambiguity.
 func RunSeqPairAttack(ctx context.Context, seed uint64, expurgate bool) (SeqPairAttackSummary, error) {
+	return RunSeqPairAttackNoise(ctx, seed, expurgate, silicon.NoiseStream)
+}
+
+// RunSeqPairAttackNoise is RunSeqPairAttack under an explicit silicon
+// noise model.
+func RunSeqPairAttackNoise(ctx context.Context, seed uint64, expurgate bool, noise silicon.NoiseModelKind) (SeqPairAttackSummary, error) {
 	d, err := device.EnrollSeqPair(device.SeqPairParams{
 		Rows: 8, Cols: 16,
 		ThresholdMHz: 0.8,
 		Policy:       pairing.RandomizedStorage,
 		Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3, Expurgate: expurgate}),
 		EnrollReps:   20,
+		Noise:        noise,
 	}, rng.New(seed), rng.New(seed+1))
 	if err != nil {
 		return SeqPairAttackSummary{}, err
@@ -415,8 +446,14 @@ type TempCoAttackSummary struct {
 
 // RunTempCoAttack enrolls a temperature-aware cooperative device and runs
 // the §VI-B relation recovery through the attack registry, scoring it
-// against silicon ground truth.
+// against silicon ground truth, under the legacy stream noise model.
 func RunTempCoAttack(ctx context.Context, seed uint64) (TempCoAttackSummary, error) {
+	return RunTempCoAttackNoise(ctx, seed, silicon.NoiseStream)
+}
+
+// RunTempCoAttackNoise is RunTempCoAttack under an explicit silicon
+// noise model.
+func RunTempCoAttackNoise(ctx context.Context, seed uint64, noise silicon.NoiseModelKind) (TempCoAttackSummary, error) {
 	p := tempco.Params{
 		Rows: 8, Cols: 16,
 		ThresholdMHz: 0.6,
@@ -424,6 +461,7 @@ func RunTempCoAttack(ctx context.Context, seed uint64) (TempCoAttackSummary, err
 		Policy:     tempco.RandomSelection,
 		Code:       ecc.MustBCH(ecc.BCHConfig{M: 6, T: 3}),
 		EnrollReps: 25,
+		Noise:      noise,
 	}
 	d, err := device.EnrollTempCo(p, rng.New(seed), rng.New(seed+1))
 	if err != nil {
@@ -810,31 +848,32 @@ type seedAttackOutcome struct {
 }
 
 // attackAllOnSeed runs every attack against devices manufactured from
-// one seed. It is a pure function of the seed and therefore safe to
-// evaluate from any worker in any order.
-func attackAllOnSeed(ctx context.Context, s uint64) (seedAttackOutcome, error) {
+// one seed under the given noise model. It is a pure function of
+// (seed, noise) and therefore safe to evaluate from any worker in any
+// order.
+func attackAllOnSeed(ctx context.Context, s uint64, noise silicon.NoiseModelKind) (seedAttackOutcome, error) {
 	var o seedAttackOutcome
-	sp, err := RunSeqPairAttack(ctx, s, true)
+	sp, err := RunSeqPairAttackNoise(ctx, s, true, noise)
 	if err != nil {
 		return o, fmt.Errorf("seqpair seed %d: %w", s, err)
 	}
 	o.seqPair = sp.Recovered
-	gb, err := RunGroupBasedAttack(ctx, s)
+	gb, err := RunGroupBasedAttackNoise(ctx, s, noise)
 	if err != nil {
 		return o, fmt.Errorf("groupbased seed %d: %w", s, err)
 	}
 	o.groupBased = gb.Recovered
-	mk, err := RunMaskingAttack(ctx, s)
+	mk, err := RunMaskingAttackNoise(ctx, s, noise)
 	if err != nil {
 		return o, fmt.Errorf("masking seed %d: %w", s, err)
 	}
 	o.masking = mk.Recovered
-	ch, err := RunChainAttack(ctx, s)
+	ch, err := RunChainAttackNoise(ctx, s, noise)
 	if err != nil {
 		return o, fmt.Errorf("chain seed %d: %w", s, err)
 	}
 	o.chain = ch.Recovered
-	tc, err := RunTempCoAttack(ctx, s)
+	tc, err := RunTempCoAttackNoise(ctx, s, noise)
 	if err != nil {
 		return o, fmt.Errorf("tempco seed %d: %w", s, err)
 	}
@@ -851,13 +890,20 @@ func MeasureAttackSuccess(base uint64, seeds int) (AttackSuccessRates, error) {
 }
 
 // MeasureAttackSuccessWorkers is MeasureAttackSuccess with an explicit
-// worker-pool bound (0 = GOMAXPROCS) and campaign cancellation.
+// worker-pool bound (0 = GOMAXPROCS) and campaign cancellation, under
+// the legacy stream noise model.
 func MeasureAttackSuccessWorkers(ctx context.Context, base uint64, seeds, workers int) (AttackSuccessRates, error) {
+	return MeasureAttackSuccessNoise(ctx, base, seeds, workers, silicon.NoiseStream)
+}
+
+// MeasureAttackSuccessNoise is MeasureAttackSuccessWorkers under an
+// explicit silicon noise model.
+func MeasureAttackSuccessNoise(ctx context.Context, base uint64, seeds, workers int, noise silicon.NoiseModelKind) (AttackSuccessRates, error) {
 	var r AttackSuccessRates
 	r.Seeds = seeds
 	outcomes := make([]seedAttackOutcome, seeds)
 	err := campaign.ForEach(ctx, seeds, workers, func(taskCtx context.Context, i int) error {
-		o, err := attackAllOnSeed(taskCtx, base+uint64(i)*101)
+		o, err := attackAllOnSeed(taskCtx, base+uint64(i)*101, noise)
 		if err != nil {
 			return err
 		}

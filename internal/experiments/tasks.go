@@ -12,12 +12,22 @@ import (
 	"fmt"
 
 	"repro/internal/campaign"
+	"repro/internal/silicon"
 )
+
+// taskNoise resolves the campaign-wide noise-model option for the
+// attack-backed tasks; empty means the legacy stream model.
+func taskNoise(opt campaign.Options) (silicon.NoiseModelKind, error) {
+	if opt.Noise == "" {
+		return silicon.NoiseStream, nil
+	}
+	return silicon.ParseNoiseModel(opt.Noise)
+}
 
 func init() {
 	campaign.Register(campaign.Task{
 		Name: "table-i", Desc: "Table I: compact and Kendall codings of all 24 orders", Figure: "Table I",
-		Run: func(_ context.Context, seed uint64) (campaign.Metrics, error) {
+		Run: func(_ context.Context, seed uint64, _ campaign.Options) (campaign.Metrics, error) {
 			rows := TableI()
 			if len(rows) != 24 {
 				return nil, fmt.Errorf("experiments: Table I has %d rows", len(rows))
@@ -32,7 +42,7 @@ func init() {
 
 	campaign.Register(campaign.Task{
 		Name: "fig2", Desc: "frequency-topology variance decomposition", Figure: "Fig. 2",
-		Run: func(_ context.Context, seed uint64) (campaign.Metrics, error) {
+		Run: func(_ context.Context, seed uint64, _ campaign.Options) (campaign.Metrics, error) {
 			r, err := Fig2(seed)
 			if err != nil {
 				return nil, err
@@ -49,7 +59,7 @@ func init() {
 
 	campaign.Register(campaign.Task{
 		Name: "fig3", Desc: "good/bad/cooperating pair classification at dfth = 0.6 MHz", Figure: "Fig. 3",
-		Run: func(_ context.Context, seed uint64) (campaign.Metrics, error) {
+		Run: func(_ context.Context, seed uint64, _ campaign.Options) (campaign.Metrics, error) {
 			rows, err := Fig3(seed, []float64{0.6})
 			if err != nil {
 				return nil, err
@@ -65,7 +75,7 @@ func init() {
 
 	campaign.Register(campaign.Task{
 		Name: "fig5", Desc: "error-count PDFs and hypothesis distinguishability", Figure: "Fig. 5",
-		Run: func(_ context.Context, seed uint64) (campaign.Metrics, error) {
+		Run: func(_ context.Context, seed uint64, _ campaign.Options) (campaign.Metrics, error) {
 			r, err := Fig5(seed, 300)
 			if err != nil {
 				return nil, err
@@ -83,8 +93,12 @@ func init() {
 	campaign.Register(campaign.Task{
 		Name: "groupbased-attack", Desc: "§VI-C group-based key recovery", Figure: "Fig. 6a",
 		Binary: []string{"recovered"},
-		Run: func(ctx context.Context, seed uint64) (campaign.Metrics, error) {
-			r, err := RunGroupBasedAttack(ctx, seed)
+		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
+			noise, err := taskNoise(opt)
+			if err != nil {
+				return nil, err
+			}
+			r, err := RunGroupBasedAttackNoise(ctx, seed, noise)
 			if err != nil {
 				return nil, err
 			}
@@ -101,8 +115,12 @@ func init() {
 	campaign.Register(campaign.Task{
 		Name: "masking-attack", Desc: "§VI-D distiller + 1-out-of-5 masking key recovery", Figure: "Fig. 6b",
 		Binary: []string{"recovered"},
-		Run: func(ctx context.Context, seed uint64) (campaign.Metrics, error) {
-			r, err := RunMaskingAttack(ctx, seed)
+		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
+			noise, err := taskNoise(opt)
+			if err != nil {
+				return nil, err
+			}
+			r, err := RunMaskingAttackNoise(ctx, seed, noise)
 			if err != nil {
 				return nil, err
 			}
@@ -118,8 +136,12 @@ func init() {
 	campaign.Register(campaign.Task{
 		Name: "chain-attack", Desc: "§VI-D distiller + overlapping chain key recovery", Figure: "Fig. 6c",
 		Binary: []string{"recovered"},
-		Run: func(ctx context.Context, seed uint64) (campaign.Metrics, error) {
-			r, err := RunChainAttack(ctx, seed)
+		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
+			noise, err := taskNoise(opt)
+			if err != nil {
+				return nil, err
+			}
+			r, err := RunChainAttackNoise(ctx, seed, noise)
 			if err != nil {
 				return nil, err
 			}
@@ -135,8 +157,12 @@ func init() {
 	campaign.Register(campaign.Task{
 		Name: "seqpair-attack", Desc: "§VI-A sequential-pairing (LISA) key recovery, expurgated code", Figure: "§VI-A",
 		Binary: []string{"recovered", "up-to-complement", "ambiguous"},
-		Run: func(ctx context.Context, seed uint64) (campaign.Metrics, error) {
-			r, err := RunSeqPairAttack(ctx, seed, true)
+		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
+			noise, err := taskNoise(opt)
+			if err != nil {
+				return nil, err
+			}
+			r, err := RunSeqPairAttackNoise(ctx, seed, true, noise)
 			if err != nil {
 				return nil, err
 			}
@@ -152,8 +178,12 @@ func init() {
 
 	campaign.Register(campaign.Task{
 		Name: "tempco-attack", Desc: "§VI-B temperature-aware relation recovery", Figure: "§VI-B",
-		Run: func(ctx context.Context, seed uint64) (campaign.Metrics, error) {
-			r, err := RunTempCoAttack(ctx, seed)
+		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
+			noise, err := taskNoise(opt)
+			if err != nil {
+				return nil, err
+			}
+			r, err := RunTempCoAttackNoise(ctx, seed, noise)
 			if err != nil {
 				return nil, err
 			}
@@ -173,7 +203,7 @@ func init() {
 
 	campaign.Register(campaign.Task{
 		Name: "entropy", Desc: "entropy accounting at threshold 0.5 MHz", Figure: "§II/§V-B",
-		Run: func(_ context.Context, seed uint64) (campaign.Metrics, error) {
+		Run: func(_ context.Context, seed uint64, _ campaign.Options) (campaign.Metrics, error) {
 			rows := EntropyAccounting(seed, []float64{0.5})
 			if len(rows) == 0 {
 				return nil, fmt.Errorf("experiments: entropy accounting produced no rows")
@@ -189,7 +219,7 @@ func init() {
 
 	campaign.Register(campaign.Task{
 		Name: "fuzzy-resistance", Desc: "manipulation advantage: fuzzy extractor vs LISA", Figure: "§VII",
-		Run: func(_ context.Context, seed uint64) (campaign.Metrics, error) {
+		Run: func(_ context.Context, seed uint64, _ campaign.Options) (campaign.Metrics, error) {
 			r, err := FuzzyResistance(seed, 40)
 			if err != nil {
 				return nil, err
@@ -204,7 +234,7 @@ func init() {
 
 	campaign.Register(campaign.Task{
 		Name: "ablation-storage", Desc: "direct helper leakage of sorted vs randomized storage", Figure: "§VII-C",
-		Run: func(ctx context.Context, seed uint64) (campaign.Metrics, error) {
+		Run: func(ctx context.Context, seed uint64, _ campaign.Options) (campaign.Metrics, error) {
 			// workers = 1: the campaign pool already parallelizes across
 			// seeds; a nested pool would oversubscribe the host.
 			r, err := AblationStoragePolicyWorkers(ctx, seed, 5, 1)
@@ -221,7 +251,7 @@ func init() {
 	campaign.Register(campaign.Task{
 		Name: "ablation-strategy", Desc: "sequential vs fixed-sample distinguisher oracle cost",
 		Binary: []string{"both-recovered"},
-		Run: func(_ context.Context, seed uint64) (campaign.Metrics, error) {
+		Run: func(_ context.Context, seed uint64, _ campaign.Options) (campaign.Metrics, error) {
 			r, err := AblationStrategy(seed)
 			if err != nil {
 				return nil, err
@@ -237,7 +267,7 @@ func init() {
 	campaign.Register(campaign.Task{
 		Name: "ablation-offset", Desc: "common-offset sweep from 1 to the code radius",
 		Binary: []string{"recovered-at-t"},
-		Run: func(ctx context.Context, seed uint64) (campaign.Metrics, error) {
+		Run: func(ctx context.Context, seed uint64, _ campaign.Options) (campaign.Metrics, error) {
 			rows, err := AblationOffsetSizeWorkers(ctx, seed, 1)
 			if err != nil {
 				return nil, err
@@ -259,8 +289,12 @@ func init() {
 			"seqpair-recovered", "groupbased-recovered",
 			"masking-recovered", "chain-recovered",
 		},
-		Run: func(ctx context.Context, seed uint64) (campaign.Metrics, error) {
-			o, err := attackAllOnSeed(ctx, seed)
+		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
+			noise, err := taskNoise(opt)
+			if err != nil {
+				return nil, err
+			}
+			o, err := attackAllOnSeed(ctx, seed, noise)
 			if err != nil {
 				return nil, err
 			}

@@ -29,6 +29,9 @@ type Params struct {
 	Code ecc.Code
 	// EnrollReps is the measurement-averaging factor at enrollment.
 	EnrollReps int
+	// Noise selects the silicon measurement-noise model; the zero value
+	// is the legacy sequential-stream model.
+	Noise silicon.NoiseModelKind
 }
 
 // Validate reports parameter errors.
@@ -188,13 +191,21 @@ func padToBlocks(stream bitvec.Vector, code ecc.Code) (bitvec.Vector, int) {
 }
 
 // Enroll manufactures the helper data and enrolled key of a device.
-// Randomness for the code-offset draw comes from src.
+// Randomness for the code-offset draw comes from src; measurement noise
+// follows the legacy sequential-stream model over the same source.
 func Enroll(a *silicon.Array, p Params, src *rng.Source) (Helper, bitvec.Vector, error) {
+	return EnrollWith(a, p, src, silicon.StreamNoise(src))
+}
+
+// EnrollWith is Enroll with the measurement noise drawn from an
+// explicit noise model; src still drives the code-offset draw. Under
+// silicon.StreamNoise(src) it is bit-identical to Enroll.
+func EnrollWith(a *silicon.Array, p Params, src *rng.Source, nm silicon.NoiseModel) (Helper, bitvec.Vector, error) {
 	if err := p.Validate(); err != nil {
 		return Helper{}, bitvec.Vector{}, err
 	}
 	env := a.Config().NominalEnv()
-	f := a.MeasureAveraged(env, src, p.EnrollReps)
+	f := a.MeasureAveragedWith(env, nm, p.EnrollReps)
 	poly, err := distiller.Fit(p.Rows, p.Cols, f, p.Degree)
 	if err != nil {
 		return Helper{}, bitvec.Vector{}, err
@@ -234,6 +245,13 @@ type Scratch struct {
 	freq  []float64
 	resid []float64
 	grid  []float64
+	// bases caches the noise-free frequency vector per environment.
+	bases silicon.BaseCache
+	// idxs lists, ascending, the oscillators belonging to groups of two
+	// or more members — the only cells whose residuals the Kendall
+	// coding reads, and therefore the sparse measurement set (O(k)
+	// noise draws under the counter model).
+	idxs []int
 	// helper-derived caches, valid while helperValid is set.
 	helperValid bool
 	members     [][]int
@@ -280,6 +298,13 @@ func (sc *Scratch) refresh(a *silicon.Array, p Params, h *Helper) error {
 		sc.members = h.Grouping.Members()
 		sc.streamLen = StreamLen(&h.Grouping)
 		sc.keyLen = KeyLen(&h.Grouping)
+		sc.idxs = sc.idxs[:0]
+		for _, members := range sc.members {
+			if len(members) >= 2 {
+				sc.idxs = append(sc.idxs, members...)
+			}
+		}
+		slices.Sort(sc.idxs)
 		sc.lastAssign = append(sc.lastAssign[:0], h.Grouping.Assign...)
 		sc.groupsValid = true
 	}
@@ -319,6 +344,15 @@ func (sc *Scratch) refresh(a *silicon.Array, p Params, h *Helper) error {
 // the measurement-noise stream consumption are bit-identical to
 // Reconstruct.
 func ReconstructInto(a *silicon.Array, p Params, h *Helper, env silicon.Environment, src *rng.Source, sc *Scratch) (bitvec.Vector, error) {
+	return ReconstructWith(a, p, h, env, silicon.StreamNoise(src), sc)
+}
+
+// ReconstructWith is ReconstructInto with the measurement noise drawn
+// from an explicit noise model. Only the oscillators in groups of two
+// or more members are measured and distilled (MeasureSparse +
+// DistillSparse): O(k) noise draws under the counter model, a
+// bit-identical draw-and-discard sweep under the stream model.
+func ReconstructWith(a *silicon.Array, p Params, h *Helper, env silicon.Environment, nm silicon.NoiseModel, sc *Scratch) (bitvec.Vector, error) {
 	if !sc.helperValid {
 		if err := sc.refresh(a, p, h); err != nil {
 			return bitvec.Vector{}, err
@@ -327,8 +361,8 @@ func ReconstructInto(a *silicon.Array, p Params, h *Helper, env silicon.Environm
 	if cap(sc.freq) < a.N() {
 		sc.freq = make([]float64, a.N())
 	}
-	f := a.MeasureInto(sc.freq[:a.N()], env, src)
-	sc.resid = distiller.DistillWithGrid(sc.resid, f, sc.grid)
+	f := a.MeasureSparseBase(sc.freq[:a.N()], sc.idxs, sc.bases.For(a, env), nm)
+	sc.resid = distiller.DistillSparse(sc.resid, f, sc.grid, sc.idxs)
 	// Kendall-code the per-group orders straight into the zero-padded
 	// block buffer (the fusion of KendallStream and padToBlocks).
 	sc.padded.Zero()

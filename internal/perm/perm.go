@@ -27,8 +27,24 @@ func Log2Factorial(n int) float64 {
 	return s
 }
 
+// compactBitsTable memoizes CompactBits for small n: the group decoders
+// call it once per group per reconstruction, and recomputing a log2
+// summation there was a measurable slice of the group-based oracle
+// query. Entries are produced by the exact formula below, so the table
+// is an equivalence, not an approximation.
+var compactBitsTable = func() [65]int {
+	var t [65]int
+	for n := range t {
+		t[n] = int(math.Ceil(Log2Factorial(n) - 1e-9))
+	}
+	return t
+}()
+
 // CompactBits returns ceil(log2(n!)), the length of the compact coding.
 func CompactBits(n int) int {
+	if n >= 0 && n < len(compactBitsTable) {
+		return compactBitsTable[n]
+	}
 	return int(math.Ceil(Log2Factorial(n) - 1e-9))
 }
 

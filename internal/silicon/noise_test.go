@@ -1,0 +1,221 @@
+package silicon
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func noiseTestArray(rows, cols int, noise NoiseModelKind) *Array {
+	cfg := DefaultConfig(rows, cols)
+	cfg.Noise = noise
+	return NewArray(cfg, rng.New(1))
+}
+
+// TestMeasureSparseStreamParity pins the stream model's draw-and-discard
+// contract: MeasureSparse over an index list is bit-identical — values
+// and stream state — to MeasureSubset over the equivalent mask, and to
+// MeasureInto at the wanted indices.
+func TestMeasureSparseStreamParity(t *testing.T) {
+	a := noiseTestArray(8, 16, NoiseStream)
+	env := Environment{TempC: 40, VoltageV: 1.15}
+	want := make([]bool, a.N())
+	var idxs []int
+	for i := 0; i < a.N(); i += 3 {
+		want[i] = true
+		idxs = append(idxs, i)
+	}
+	srcA, srcB, srcC := rng.New(9), rng.New(9), rng.New(9)
+	ref := make([]float64, a.N())
+	sub := make([]float64, a.N())
+	spr := make([]float64, a.N())
+	for round := 0; round < 5; round++ {
+		a.MeasureInto(ref, env, srcA)
+		a.MeasureSubset(sub, want, env, srcB)
+		a.MeasureSparse(spr, idxs, env, StreamNoise(srcC))
+		for _, i := range idxs {
+			if spr[i] != ref[i] || spr[i] != sub[i] {
+				t.Fatalf("round %d osc %d: sparse %v subset %v full %v", round, i, spr[i], sub[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestMeasureSparseCounterMatchesFull pins the counter identity
+// contract: a sparse sweep reproduces exactly the values a full sweep
+// with the same (key, sweep counter) would produce at those indices —
+// while drawing only the subset's noise.
+func TestMeasureSparseCounterMatchesFull(t *testing.T) {
+	a := noiseTestArray(8, 16, NoiseCounter)
+	env := a.Config().NominalEnv()
+	full := CounterNoise(77)
+	sparse := CounterNoise(77)
+	idxs := []int{0, 1, 5, 17, 18, 19, 42, 127}
+	ref := make([]float64, a.N())
+	got := make([]float64, a.N())
+	for round := 0; round < 5; round++ {
+		a.MeasureIntoWith(ref, env, full)
+		a.MeasureSparse(got, idxs, env, sparse)
+		for _, i := range idxs {
+			if got[i] != ref[i] {
+				t.Fatalf("round %d osc %d: sparse %v != full %v", round, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestCounterSweepAdvances checks that consecutive sweeps never share
+// noise and that a dedicated model reproduces any sweep from scratch
+// (per-(query, index) determinism).
+func TestCounterSweepAdvances(t *testing.T) {
+	a := noiseTestArray(4, 8, NoiseCounter)
+	env := a.Config().NominalEnv()
+	nm := CounterNoise(5)
+	sweeps := make([][]float64, 4)
+	for r := range sweeps {
+		sweeps[r] = append([]float64(nil), a.MeasureIntoWith(make([]float64, a.N()), env, nm)...)
+	}
+	for r := 1; r < len(sweeps); r++ {
+		same := 0
+		for i := range sweeps[r] {
+			if sweeps[r][i] == sweeps[r-1][i] {
+				same++
+			}
+		}
+		if same > 0 {
+			t.Fatalf("sweeps %d and %d share %d values", r-1, r, same)
+		}
+	}
+	// Replaying from a fresh model with the same key reproduces sweep 0
+	// onward bit for bit.
+	replay := CounterNoise(5)
+	for r := range sweeps {
+		got := a.MeasureIntoWith(make([]float64, a.N()), env, replay)
+		for i := range got {
+			if got[i] != sweeps[r][i] {
+				t.Fatalf("replay sweep %d diverged at osc %d", r, i)
+			}
+		}
+	}
+}
+
+// TestNoiseForkIndependence checks Fork determinism and independence
+// for both models: same seed → identical variates, different seeds →
+// distinct variates.
+func TestNoiseForkIndependence(t *testing.T) {
+	for _, kind := range []NoiseModelKind{NoiseStream, NoiseCounter} {
+		parent := NewNoise(kind, rng.New(3))
+		a, b, c := parent.Fork(10), parent.Fork(10), parent.Fork(11)
+		bufA := make([]float64, 64)
+		bufB := make([]float64, 64)
+		bufC := make([]float64, 64)
+		a.FillAll(bufA)
+		b.FillAll(bufB)
+		c.FillAll(bufC)
+		same := 0
+		for i := range bufA {
+			if bufA[i] != bufB[i] {
+				t.Fatalf("%v: forks with equal seeds diverge at %d", kind, i)
+			}
+			if bufA[i] == bufC[i] {
+				same++
+			}
+		}
+		if same > 0 {
+			t.Fatalf("%v: forks with different seeds share %d values", kind, same)
+		}
+	}
+}
+
+// TestMeasureAveragedIntoMatchesScalar pins the bulk enrollment path to
+// the scalar draw order it replaced: oscillator-major, repetition-minor
+// sequential Measure calls.
+func TestMeasureAveragedIntoMatchesScalar(t *testing.T) {
+	a := noiseTestArray(8, 16, NoiseStream)
+	env := Environment{TempC: 60, VoltageV: 1.22}
+	for _, reps := range []int{1, 3, 64, 65, 130} {
+		srcA, srcB := rng.New(uint64(reps)), rng.New(uint64(reps))
+		ref := make([]float64, a.N())
+		for i := range ref {
+			var s float64
+			for r := 0; r < reps; r++ {
+				s += a.Measure(i, env, srcA)
+			}
+			ref[i] = s / float64(reps)
+		}
+		got := a.MeasureAveragedInto(make([]float64, a.N()), env, srcB, reps)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("reps %d osc %d: %v != scalar %v", reps, i, got[i], ref[i])
+			}
+		}
+		if sA, sB := srcA.Uint64(), srcB.Uint64(); sA != sB {
+			t.Fatalf("reps %d: stream positions diverge after averaging", reps)
+		}
+	}
+}
+
+// TestMeasureAveragedIntoAllocFree is the enrollment-path allocs fence.
+func TestMeasureAveragedIntoAllocFree(t *testing.T) {
+	a := noiseTestArray(8, 16, NoiseStream)
+	env := a.Config().NominalEnv()
+	src := rng.New(2)
+	dst := make([]float64, a.N())
+	if allocs := testing.AllocsPerRun(20, func() {
+		a.MeasureAveragedInto(dst, env, src, 25)
+	}); allocs != 0 {
+		t.Fatalf("MeasureAveragedInto allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestMeasureAveragedWithCounterMoments sanity-checks the counter-mode
+// enrollment averaging: the per-oscillator mean over many sweeps must
+// converge to the true frequency.
+func TestMeasureAveragedWithCounterMoments(t *testing.T) {
+	a := noiseTestArray(4, 8, NoiseCounter)
+	env := a.Config().NominalEnv()
+	nm := CounterNoise(123)
+	got := a.MeasureAveragedWith(env, nm, 400)
+	sigma := a.Config().NoiseSigmaMHz
+	for i := range got {
+		if diff := math.Abs(got[i] - a.TrueFreq(i, env)); diff > 4*sigma/20 {
+			t.Fatalf("osc %d: averaged %v vs true %v (diff %v)", i, got[i], a.TrueFreq(i, env), diff)
+		}
+	}
+}
+
+// BenchmarkMeasureSubsetModels is the sparse-vs-dense crossover: the
+// stream model pays the full-array noise tax at every subset fraction,
+// while the counter model's cost scales with k. The acceptance target
+// is a ≥3x counter-over-stream speedup at fraction ≤ 1/8.
+func BenchmarkMeasureSubsetModels(b *testing.B) {
+	const rows, cols = 16, 32
+	for _, frac := range []int{1, 4, 8, 32} {
+		var idxs []int
+		for i := 0; i < rows*cols; i += frac {
+			idxs = append(idxs, i)
+		}
+		b.Run(fmt.Sprintf("stream/frac-1of%d", frac), func(b *testing.B) {
+			a := noiseTestArray(rows, cols, NoiseStream)
+			env := a.Config().NominalEnv()
+			nm := StreamNoise(rng.New(1))
+			dst := make([]float64, a.N())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.MeasureSparse(dst, idxs, env, nm)
+			}
+		})
+		b.Run(fmt.Sprintf("counter/frac-1of%d", frac), func(b *testing.B) {
+			a := noiseTestArray(rows, cols, NoiseCounter)
+			env := a.Config().NominalEnv()
+			nm := CounterNoise(1)
+			dst := make([]float64, a.N())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.MeasureSparse(dst, idxs, env, nm)
+			}
+		})
+	}
+}

@@ -83,6 +83,11 @@ type Config struct {
 	// the returned frequency is count / window (the paper's "counter
 	// values are discrete" remark, the root of the ∆f = 0 bias).
 	CounterWindowUS float64
+
+	// Noise selects the measurement-noise determinism contract (see
+	// noise.go). The zero value is the legacy sequential-stream model,
+	// so existing configs and their seed goldens are untouched.
+	Noise NoiseModelKind
 }
 
 // DefaultConfig returns a parameterization representative of the FPGA RO
@@ -119,7 +124,23 @@ func (c Config) Validate() error {
 	if c.ProcessSigmaMHz < 0 || c.NoiseSigmaMHz < 0 || c.TempCoefSigmaMHzPerC < 0 {
 		return fmt.Errorf("silicon: negative sigma in config")
 	}
+	if c.Noise != NoiseStream && c.Noise != NoiseCounter {
+		return fmt.Errorf("silicon: unknown noise model %d", int(c.Noise))
+	}
 	return nil
+}
+
+// quantizeWindow applies counter quantization for a positive window:
+// count = floor(f_MHz * window_us) edges, scaled back — flooring toward
+// zero, the usual ripple-counter behaviour. It is the single source of
+// the quantization rule; the measurement loops hoist the window out of
+// Config (a plain float argument inlines, a large-struct method
+// receiver copies Config per call) and all feed through here.
+func quantizeWindow(f, window float64) float64 {
+	if window > 0 {
+		return math.Floor(f*window) / window
+	}
+	return f
 }
 
 // NominalEnv returns the enrollment environment of the config.
@@ -216,20 +237,17 @@ func (a *Array) TrueFreq(i int, env Environment) float64 {
 // Measure performs one noisy frequency measurement of oscillator i,
 // applying counter quantization when configured.
 func (a *Array) Measure(i int, env Environment, src *rng.Source) float64 {
-	f := a.TrueFreq(i, env) + src.NormScaled(0, a.cfg.NoiseSigmaMHz)
-	if a.cfg.CounterWindowUS > 0 {
-		// count = floor(f_MHz * window_us) edges; frequency estimate is
-		// the count scaled back. This floors toward zero, the usual
-		// ripple-counter behaviour.
-		count := math.Floor(f * a.cfg.CounterWindowUS)
-		f = count / a.cfg.CounterWindowUS
-	}
-	return f
+	return quantizeWindow(a.TrueFreq(i, env)+src.NormScaled(0, a.cfg.NoiseSigmaMHz), a.cfg.CounterWindowUS)
 }
 
 // MeasureAll measures every oscillator once in the given environment.
 func (a *Array) MeasureAll(env Environment, src *rng.Source) []float64 {
 	return a.MeasureInto(make([]float64, a.N()), env, src)
+}
+
+// MeasureAllWith is MeasureAll under an explicit noise model.
+func (a *Array) MeasureAllWith(env Environment, nm NoiseModel) []float64 {
+	return a.MeasureIntoWith(make([]float64, a.N()), env, nm)
 }
 
 // MeasureInto is MeasureAll into a caller-owned buffer of length N: the
@@ -238,64 +256,193 @@ func (a *Array) MeasureAll(env Environment, src *rng.Source) []float64 {
 // N sequential Measure calls would, so MeasureAll and MeasureInto are
 // interchangeable on the same stream. It returns dst.
 func (a *Array) MeasureInto(dst []float64, env Environment, src *rng.Source) []float64 {
+	return a.MeasureIntoWith(dst, env, StreamNoise(src))
+}
+
+// MeasureIntoWith is MeasureInto under an explicit noise model: one
+// sweep of variates (nm.FillAll), then the per-oscillator frequency
+// model and quantization. It returns dst.
+func (a *Array) MeasureIntoWith(dst []float64, env Environment, nm NoiseModel) []float64 {
 	if len(dst) != a.N() {
 		panic(fmt.Sprintf("silicon: MeasureInto buffer length %d, want %d", len(dst), a.N()))
 	}
-	src.NormFill(dst)
-	sigma := a.cfg.NoiseSigmaMHz
+	nm.FillAll(dst)
+	sigma, window := a.cfg.NoiseSigmaMHz, a.cfg.CounterWindowUS
 	for i := range dst {
-		f := a.TrueFreq(i, env) + (0 + sigma*dst[i])
-		if a.cfg.CounterWindowUS > 0 {
-			count := math.Floor(f * a.cfg.CounterWindowUS)
-			f = count / a.cfg.CounterWindowUS
-		}
-		dst[i] = f
+		dst[i] = quantizeWindow(a.TrueFreq(i, env)+sigma*dst[i], window)
 	}
 	return dst
 }
 
 // MeasureSubset measures only the oscillators with want[i] set, writing
 // their frequencies into dst; entries of dst outside the subset are
-// scratch garbage the caller must not read. Pinned determinism contract:
-// the noise draw for every oscillator — wanted or not — is still consumed
-// from src in index order (draw-and-discard), so a device that measures a
-// helper-referenced subset produces bit-identical frequencies, and leaves
-// the stream in a bit-identical state, to one that calls MeasureAll. The
-// saved work is the per-oscillator frequency model and counter
-// quantization, not the noise sampling.
+// scratch garbage the caller must not read. Pinned determinism contract
+// of the stream model: the noise draw for every oscillator — wanted or
+// not — is still consumed from src in index order (draw-and-discard), so
+// a device that measures a helper-referenced subset produces
+// bit-identical frequencies, and leaves the stream in a bit-identical
+// state, to one that calls MeasureAll. The saved work is the
+// per-oscillator frequency model and counter quantization, not the
+// noise sampling; MeasureSparse under the counter model saves both.
 func (a *Array) MeasureSubset(dst []float64, want []bool, env Environment, src *rng.Source) []float64 {
 	if len(dst) != a.N() || len(want) != a.N() {
 		panic(fmt.Sprintf("silicon: MeasureSubset buffers %d/%d, want %d", len(dst), len(want), a.N()))
 	}
 	src.NormFill(dst)
-	sigma := a.cfg.NoiseSigmaMHz
+	sigma, window := a.cfg.NoiseSigmaMHz, a.cfg.CounterWindowUS
 	for i := range dst {
 		if !want[i] {
 			continue
 		}
-		f := a.TrueFreq(i, env) + (0 + sigma*dst[i])
-		if a.cfg.CounterWindowUS > 0 {
-			count := math.Floor(f * a.cfg.CounterWindowUS)
-			f = count / a.cfg.CounterWindowUS
-		}
-		dst[i] = f
+		dst[i] = quantizeWindow(a.TrueFreq(i, env)+sigma*dst[i], window)
 	}
 	return dst
+}
+
+// MeasureSparse measures only the oscillators listed in idxs (ascending,
+// no duplicates), writing their frequencies into dst (length N); entries
+// outside the subset are scratch garbage the caller must not read. The
+// per-variate cost contract is the noise model's: the stream model
+// draws-and-discards every oscillator's noise to hold its parity
+// contract (making MeasureSparse bit-identical to MeasureSubset with
+// the equivalent mask), while the counter model draws exactly len(idxs)
+// variates — the genuinely O(k) subset path sparse oracle queries ride.
+func (a *Array) MeasureSparse(dst []float64, idxs []int, env Environment, nm NoiseModel) []float64 {
+	if len(dst) != a.N() {
+		panic(fmt.Sprintf("silicon: MeasureSparse buffer length %d, want %d", len(dst), a.N()))
+	}
+	nm.FillIndices(dst, idxs)
+	sigma, window := a.cfg.NoiseSigmaMHz, a.cfg.CounterWindowUS
+	for _, i := range idxs {
+		dst[i] = quantizeWindow(a.TrueFreq(i, env)+sigma*dst[i], window)
+	}
+	return dst
+}
+
+// MeasureSparseBase is MeasureSparse over a precomputed noise-free
+// frequency vector (BaseCache.For): the per-query hot path of devices
+// whose operating environment is stable across queries, where
+// re-evaluating the three-term frequency model per oscillator per
+// query is pure waste. base[i] must equal TrueFreq(i, env) for the
+// environment the noise belongs to; the result is then bit-identical
+// to MeasureSparse.
+func (a *Array) MeasureSparseBase(dst []float64, idxs []int, base []float64, nm NoiseModel) []float64 {
+	if len(dst) != a.N() || len(base) != a.N() {
+		panic(fmt.Sprintf("silicon: MeasureSparseBase buffers %d/%d, want %d", len(dst), len(base), a.N()))
+	}
+	nm.FillIndices(dst, idxs)
+	sigma, window := a.cfg.NoiseSigmaMHz, a.cfg.CounterWindowUS
+	for _, i := range idxs {
+		dst[i] = quantizeWindow(base[i]+sigma*dst[i], window)
+	}
+	return dst
+}
+
+// TrueFreqInto fills dst (length N) with the noise-free frequency of
+// every oscillator in env.
+func (a *Array) TrueFreqInto(dst []float64, env Environment) []float64 {
+	if len(dst) != a.N() {
+		panic(fmt.Sprintf("silicon: TrueFreqInto buffer length %d, want %d", len(dst), a.N()))
+	}
+	for i := range dst {
+		dst[i] = a.TrueFreq(i, env)
+	}
+	return dst
+}
+
+// BaseCache memoizes the noise-free frequency vector of one
+// environment. Devices keep one in their per-oracle scratch: the
+// vector is a pure function of (array, environment), so it stays valid
+// across queries and helper writes, and is rebuilt only when the
+// attacker actually moves the operating point (the tempco attack's
+// temperature sweeps). The zero value is ready; not concurrency-safe.
+type BaseCache struct {
+	env   Environment
+	valid bool
+	base  []float64
+}
+
+// For returns the cached vector for env, rebuilding it on first use or
+// an environment change.
+func (bc *BaseCache) For(a *Array, env Environment) []float64 {
+	if !bc.valid || bc.env != env || len(bc.base) != a.N() {
+		if cap(bc.base) < a.N() {
+			bc.base = make([]float64, a.N())
+		}
+		bc.base = bc.base[:a.N()]
+		a.TrueFreqInto(bc.base, env)
+		bc.env = env
+		bc.valid = true
+	}
+	return bc.base
 }
 
 // MeasureAveraged measures every oscillator `reps` times and returns the
 // per-oscillator means — the standard enrollment-time noise reduction.
 func (a *Array) MeasureAveraged(env Environment, src *rng.Source, reps int) []float64 {
+	return a.MeasureAveragedInto(make([]float64, a.N()), env, src, reps)
+}
+
+// MeasureAveragedInto is MeasureAveraged into a caller-owned buffer of
+// length N, allocation-free. Noise is drawn in per-oscillator bulk
+// chunks (rng.NormFill into a stack buffer), consuming the source
+// exactly as the reps*N sequential scalar Measure calls it replaced —
+// oscillator-major, repetition-minor — so enrolled keys and every draw
+// after enrollment stay bit-identical. The per-oscillator true
+// frequency is evaluated once instead of once per repetition.
+func (a *Array) MeasureAveragedInto(dst []float64, env Environment, src *rng.Source, reps int) []float64 {
+	if reps < 1 {
+		panic("silicon: MeasureAveraged needs reps >= 1")
+	}
+	if len(dst) != a.N() {
+		panic(fmt.Sprintf("silicon: MeasureAveragedInto buffer length %d, want %d", len(dst), a.N()))
+	}
+	var buf [64]float64
+	sigma, window := a.cfg.NoiseSigmaMHz, a.cfg.CounterWindowUS
+	for i := range dst {
+		base := a.TrueFreq(i, env)
+		var s float64
+		for rem := reps; rem > 0; {
+			n := min(rem, len(buf))
+			src.NormFill(buf[:n])
+			for _, z := range buf[:n] {
+				s += quantizeWindow(base+sigma*z, window)
+			}
+			rem -= n
+		}
+		dst[i] = s / float64(reps)
+	}
+	return dst
+}
+
+// MeasureAveragedWith is the enrollment-time averaging under an explicit
+// noise model. The stream model keeps the legacy oscillator-major draw
+// order (bit-identical to MeasureAveraged on the same source); the
+// counter model performs reps whole-array sweeps, each keyed by its own
+// sweep counter — the natural counter-mode contract.
+func (a *Array) MeasureAveragedWith(env Environment, nm NoiseModel, reps int) []float64 {
+	if sn, ok := nm.(*streamNoise); ok {
+		return a.MeasureAveraged(env, sn.src(), reps)
+	}
 	if reps < 1 {
 		panic("silicon: MeasureAveraged needs reps >= 1")
 	}
 	out := make([]float64, a.N())
-	for i := range out {
-		var s float64
-		for r := 0; r < reps; r++ {
-			s += a.Measure(i, env, src)
+	row := make([]float64, a.N())
+	base := make([]float64, a.N())
+	for i := range base {
+		base[i] = a.TrueFreq(i, env)
+	}
+	sigma, window := a.cfg.NoiseSigmaMHz, a.cfg.CounterWindowUS
+	for r := 0; r < reps; r++ {
+		nm.FillAll(row)
+		for i := range out {
+			out[i] += quantizeWindow(base[i]+sigma*row[i], window)
 		}
-		out[i] = s / float64(reps)
+	}
+	inv := 1 / float64(reps)
+	for i := range out {
+		out[i] *= inv
 	}
 	return out
 }

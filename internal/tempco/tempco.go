@@ -99,6 +99,9 @@ type Params struct {
 	Code ecc.Code
 	// EnrollReps is the per-extreme measurement averaging factor.
 	EnrollReps int
+	// Noise selects the silicon measurement-noise model; the zero value
+	// is the legacy sequential-stream model.
+	Noise silicon.NoiseModelKind
 }
 
 // Validate reports parameter errors.
@@ -167,14 +170,25 @@ func classify(d0, d1, t0, t1, th, tmin, tmax float64) (PairClass, float64, float
 // Enroll measures the array at both operating extremes (the original
 // proposal's procedure), classifies every disjoint neighbor pair, wires
 // up the cooperation helper records, and computes the ECC offset over
-// the reference response.
+// the reference response. Measurement noise comes from the legacy
+// sequential-stream model over src; devices that run another noise
+// model enroll through EnrollWith.
 func Enroll(a *silicon.Array, p Params, src *rng.Source) (Helper, bitvec.Vector, error) {
+	return EnrollWith(a, p, src, silicon.StreamNoise(src))
+}
+
+// EnrollWith is Enroll with the measurement noise drawn from an
+// explicit noise model; src still drives the non-measurement enrollment
+// randomness (mask-order permutation, helping-pair selection, ECC
+// offset draw). Under silicon.StreamNoise(src) it is bit-identical to
+// Enroll.
+func EnrollWith(a *silicon.Array, p Params, src *rng.Source, nm silicon.NoiseModel) (Helper, bitvec.Vector, error) {
 	if err := p.Validate(); err != nil {
 		return Helper{}, bitvec.Vector{}, err
 	}
 	v := a.Config().NominalVoltageV
-	fMin := a.MeasureAveraged(silicon.Environment{TempC: p.TminC, VoltageV: v}, src, p.EnrollReps)
-	fMax := a.MeasureAveraged(silicon.Environment{TempC: p.TmaxC, VoltageV: v}, src, p.EnrollReps)
+	fMin := a.MeasureAveragedWith(silicon.Environment{TempC: p.TminC, VoltageV: v}, nm, p.EnrollReps)
+	fMax := a.MeasureAveragedWith(silicon.Environment{TempC: p.TmaxC, VoltageV: v}, nm, p.EnrollReps)
 
 	pairs := pairing.ChainPairs(p.Rows, p.Cols, true)
 	infos := make([]PairInfo, len(pairs))
@@ -320,6 +334,13 @@ func Reconstruct(a *silicon.Array, p Params, h Helper, env silicon.Environment, 
 type Scratch struct {
 	freq []float64
 	want []bool
+	// idxs is the ascending index list equivalent of want — the sparse
+	// measurement order MeasureSparse consumes, O(k) under the counter
+	// noise model.
+	idxs []int
+	// bases caches the noise-free frequency vector per environment; the
+	// §VI-B attack sweeps temperature, so the cache keys on env.
+	bases silicon.BaseCache
 	// helper-derived caches, valid while helperValid is set.
 	helperValid bool
 	keyLen      int
@@ -365,6 +386,12 @@ func (sc *Scratch) refresh(a *silicon.Array, p Params, h *Helper) error {
 			}
 		}
 	}
+	sc.idxs = sc.idxs[:0]
+	for i, wanted := range sc.want {
+		if wanted {
+			sc.idxs = append(sc.idxs, i)
+		}
+	}
 	n := p.Code.N()
 	blocks := (len(h.Pairs) + n - 1) / n
 	if blocks == 0 {
@@ -390,6 +417,15 @@ func (sc *Scratch) refresh(a *silicon.Array, p Params, h *Helper) error {
 // valid until the next call. Keys, failure outcomes and the noise-stream
 // consumption are bit-identical to Reconstruct.
 func ReconstructInto(a *silicon.Array, p Params, h *Helper, env silicon.Environment, src *rng.Source, sc *Scratch) (bitvec.Vector, error) {
+	return ReconstructWith(a, p, h, env, silicon.StreamNoise(src), sc)
+}
+
+// ReconstructWith is ReconstructInto with the measurement noise drawn
+// from an explicit noise model: only the helper-referenced oscillators
+// are measured (MeasureSparse), which is O(k) draws under the counter
+// model and a bit-identical draw-and-discard full sweep under the
+// stream model.
+func ReconstructWith(a *silicon.Array, p Params, h *Helper, env silicon.Environment, nm silicon.NoiseModel, sc *Scratch) (bitvec.Vector, error) {
 	if !sc.helperValid {
 		if err := sc.refresh(a, p, h); err != nil {
 			return bitvec.Vector{}, err
@@ -398,7 +434,7 @@ func ReconstructInto(a *silicon.Array, p Params, h *Helper, env silicon.Environm
 	if cap(sc.freq) < a.N() {
 		sc.freq = make([]float64, a.N())
 	}
-	f := a.MeasureSubset(sc.freq[:a.N()], sc.want, env, src)
+	f := a.MeasureSparseBase(sc.freq[:a.N()], sc.idxs, sc.bases.For(a, env), nm)
 	t := env.TempC
 	sc.padded.Zero()
 	bits := sc.padded
