@@ -14,6 +14,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/perm"
+	"repro/internal/transcript"
 )
 
 // BenchmarkTableI_KendallCoding (E1) regenerates the paper's Table I:
@@ -85,11 +86,12 @@ func BenchmarkFig5_FailureRatePDFs(b *testing.B) {
 // BenchmarkFig6a_GroupBasedAttack (E5/E10) runs the §VI-C full key
 // recovery on the paper's 4x10 Fig. 6 array.
 func BenchmarkFig6a_GroupBasedAttack(b *testing.B) {
-	var r experiments.GroupAttackResult
+	var r transcript.Transcript
 	var err error
 	recovered := 0
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.RunGroupBasedAttack(context.Background(), uint64(i)*3+9)
+		r, err = experiments.RunAttack(context.Background(),
+			transcript.Spec{Attack: "groupbased", Seed: uint64(i)*3 + 9})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +99,7 @@ func BenchmarkFig6a_GroupBasedAttack(b *testing.B) {
 			recovered++
 		}
 	}
-	b.ReportMetric(float64(r.KeyBits), "key-bits")
+	b.ReportMetric(float64(r.EnrolledKeyBits), "key-bits")
 	b.ReportMetric(float64(r.Queries), "oracle-queries")
 	b.ReportMetric(float64(recovered)/float64(b.N), "recovery-rate")
 }
@@ -105,11 +107,12 @@ func BenchmarkFig6a_GroupBasedAttack(b *testing.B) {
 // BenchmarkFig6b_MaskingAttack (E6) runs the distiller + 1-out-of-5
 // masking attack.
 func BenchmarkFig6b_MaskingAttack(b *testing.B) {
-	var r experiments.MaskingAttackSummary
+	var r transcript.Transcript
 	var err error
 	recovered := 0
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.RunMaskingAttack(context.Background(), uint64(i)*3+11)
+		r, err = experiments.RunAttack(context.Background(),
+			transcript.Spec{Attack: "masking", Seed: uint64(i)*3 + 11})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +120,7 @@ func BenchmarkFig6b_MaskingAttack(b *testing.B) {
 			recovered++
 		}
 	}
-	b.ReportMetric(float64(r.KeyBits), "key-bits")
+	b.ReportMetric(float64(r.EnrolledKeyBits), "key-bits")
 	b.ReportMetric(float64(r.Queries), "oracle-queries")
 	b.ReportMetric(float64(recovered)/float64(b.N), "recovery-rate")
 }
@@ -125,11 +128,12 @@ func BenchmarkFig6b_MaskingAttack(b *testing.B) {
 // BenchmarkFig6c_NeighborChainAttack (E7) runs the distiller +
 // overlapping chain attack with its 2^4 hypothesis sets.
 func BenchmarkFig6c_NeighborChainAttack(b *testing.B) {
-	var r experiments.ChainAttackSummary
+	var r transcript.Transcript
 	var err error
 	recovered := 0
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.RunChainAttack(context.Background(), uint64(i)*3+13)
+		r, err = experiments.RunAttack(context.Background(),
+			transcript.Spec{Attack: "chain", Seed: uint64(i)*3 + 13})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,7 +141,7 @@ func BenchmarkFig6c_NeighborChainAttack(b *testing.B) {
 			recovered++
 		}
 	}
-	b.ReportMetric(float64(r.KeyBits), "key-bits")
+	b.ReportMetric(float64(r.EnrolledKeyBits), "key-bits")
 	b.ReportMetric(float64(r.MaxHypotheses), "max-hypotheses")
 	b.ReportMetric(float64(r.Queries), "oracle-queries")
 	b.ReportMetric(float64(recovered)/float64(b.N), "recovery-rate")
@@ -146,11 +150,12 @@ func BenchmarkFig6c_NeighborChainAttack(b *testing.B) {
 // BenchmarkAttackSeqPair (E8) runs the §VI-A key recovery end to end
 // with the expurgated code (full recovery including the complement bit).
 func BenchmarkAttackSeqPair(b *testing.B) {
-	var r experiments.SeqPairAttackSummary
+	var r transcript.Transcript
 	var err error
 	recovered := 0
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.RunSeqPairAttack(context.Background(), uint64(i)*3+5, true)
+		r, err = experiments.RunAttack(context.Background(),
+			transcript.Spec{Attack: "seqpair", Seed: uint64(i)*3 + 5, Expurgate: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -158,19 +163,20 @@ func BenchmarkAttackSeqPair(b *testing.B) {
 			recovered++
 		}
 	}
-	b.ReportMetric(float64(r.KeyBits), "key-bits")
+	b.ReportMetric(float64(r.EnrolledKeyBits), "key-bits")
 	b.ReportMetric(float64(r.Queries), "oracle-queries")
-	b.ReportMetric(float64(r.Queries)/float64(r.KeyBits), "queries-per-bit")
+	b.ReportMetric(float64(r.Queries)/float64(r.EnrolledKeyBits), "queries-per-bit")
 	b.ReportMetric(float64(recovered)/float64(b.N), "recovery-rate")
 }
 
 // BenchmarkAttackTempCo (E9) runs the §VI-B relation recovery end to
 // end, scored against silicon ground truth.
 func BenchmarkAttackTempCo(b *testing.B) {
-	var r experiments.TempCoAttackSummary
+	var r transcript.Transcript
 	var err error
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.RunTempCoAttack(context.Background(), uint64(i)*3+7)
+		r, err = experiments.RunAttack(context.Background(),
+			transcript.Spec{Attack: "tempco", Seed: uint64(i)*3 + 7})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -40,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -47,6 +48,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/silicon"
+	"repro/internal/transcript"
 )
 
 // benchConfig carries one invocation's settings through run().
@@ -59,6 +61,7 @@ type benchConfig struct {
 	count      int
 	nsGatePct  float64
 	noise      silicon.NoiseModelKind
+	goldenDir  string
 	cpuProfile string
 	memProfile string
 }
@@ -72,6 +75,7 @@ func main() {
 	baseline := flag.String("baseline", "", "committed artifact to compare against; >2% allocs/op or >ns-gate-pct ns/op regression fails")
 	nsGatePct := flag.Float64("ns-gate-pct", 15, "median ns/op regression percentage that fails -baseline (0 disables)")
 	noiseName := flag.String("noise", "counter", "silicon noise model for attack-backed runs: counter or stream")
+	goldenDir := flag.String("golden", "", "regenerate the transcript golden matrix into this directory (typically testdata/transcripts) and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -94,9 +98,42 @@ func main() {
 		count:      *count,
 		nsGatePct:  *nsGatePct,
 		noise:      noise,
+		goldenDir:  *goldenDir,
 		cpuProfile: *cpuProfile,
 		memProfile: *memProfile,
 	}))
+}
+
+// runGolden regenerates every transcript golden file into dir — the
+// same bytes `go test -run TestGoldenTranscripts -update` writes, so CI
+// can regenerate and `git diff` for staleness without invoking the test
+// binary.
+func runGolden(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := transcript.GoldenFiles()
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		trs, err := transcript.RunAll(context.Background(), files[name])
+		if err != nil {
+			return err
+		}
+		data, err := transcript.Marshal(trs)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d transcripts)\n", path, len(trs))
+	}
+	return nil
 }
 
 // run executes one puf-bench invocation and returns the process status.
@@ -129,6 +166,14 @@ func run(cfg benchConfig) int {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		}
 	}()
+
+	if cfg.goldenDir != "" {
+		if err := runGolden(cfg.goldenDir); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	if cfg.jsonMode {
 		if err := runJSONBench(cfg); err != nil {
@@ -235,40 +280,51 @@ func runE4(cfg benchConfig) error {
 	return nil
 }
 
+// attackSpec builds the transcript Spec for one attack-backed
+// experiment under the invocation's noise model.
+func attackSpec(cfg benchConfig, name string, expurgate bool) transcript.Spec {
+	return transcript.Spec{
+		Attack:    name,
+		Seed:      cfg.seed,
+		Noise:     cfg.noise.String(),
+		Expurgate: expurgate,
+	}
+}
+
 func runE5(cfg benchConfig) error {
-	r, err := experiments.RunGroupBasedAttackNoise(context.Background(), cfg.seed, cfg.noise)
+	r, err := experiments.RunAttack(context.Background(), attackSpec(cfg, "groupbased", false))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("4x10 array, %d groups, key %d bits\n", r.Groups, r.KeyBits)
+	fmt.Printf("4x10 array, %d groups, key %d bits\n", r.Groups, r.EnrolledKeyBits)
 	fmt.Printf("groups resolved : %d/%d\n", r.Resolved, r.Groups)
 	fmt.Printf("full key        : recovered=%v in %d oracle queries\n", r.Recovered, r.Queries)
 	return nil
 }
 
 func runE6(cfg benchConfig) error {
-	r, err := experiments.RunMaskingAttackNoise(context.Background(), cfg.seed, cfg.noise)
+	r, err := experiments.RunAttack(context.Background(), attackSpec(cfg, "masking", false))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("base pair bits recovered: %d; key bits: %d\n", r.BaseBits, r.KeyBits)
+	fmt.Printf("base pair bits recovered: %d; key bits: %d\n", r.BaseBits, r.EnrolledKeyBits)
 	fmt.Printf("key recovered=%v in %d oracle queries\n", r.Recovered, r.Queries)
 	return nil
 }
 
 func runE7(cfg benchConfig) error {
-	r, err := experiments.RunChainAttackNoise(context.Background(), cfg.seed, cfg.noise)
+	r, err := experiments.RunAttack(context.Background(), attackSpec(cfg, "chain", false))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("overlapping chain: %d bits; max hypothesis set: 2^b = %d\n", r.KeyBits, r.MaxHypotheses)
+	fmt.Printf("overlapping chain: %d bits; max hypothesis set: 2^b = %d\n", r.EnrolledKeyBits, r.MaxHypotheses)
 	fmt.Printf("key recovered=%v in %d oracle queries\n", r.Recovered, r.Queries)
 	return nil
 }
 
 func runE8(cfg benchConfig) error {
 	for _, exp := range []bool{false, true} {
-		r, err := experiments.RunSeqPairAttackNoise(context.Background(), cfg.seed, exp, cfg.noise)
+		r, err := experiments.RunAttack(context.Background(), attackSpec(cfg, "seqpair", exp))
 		if err != nil {
 			return err
 		}
@@ -277,13 +333,13 @@ func runE8(cfg benchConfig) error {
 			code = "expurgated BCH"
 		}
 		fmt.Printf("%-15s: %d bits, exact=%v up-to-complement=%v ambiguous=%v, %d queries\n",
-			code, r.KeyBits, r.Recovered, r.UpToComplement, r.Ambiguous, r.Queries)
+			code, r.EnrolledKeyBits, r.Recovered, r.UpToComplement, r.Ambiguous, r.Queries)
 	}
 	return nil
 }
 
 func runE9(cfg benchConfig) error {
-	r, err := experiments.RunTempCoAttackNoise(context.Background(), cfg.seed, cfg.noise)
+	r, err := experiments.RunAttack(context.Background(), attackSpec(cfg, "tempco", false))
 	if err != nil {
 		return err
 	}
@@ -469,60 +525,35 @@ func runJSONBench(cfg benchConfig) error {
 	}
 	seed, noise := cfg.seed, cfg.noise
 	ctx := context.Background()
+	// benchAttack measures one attack end to end via RunAttack; only the
+	// seqpair bench runs the expurgated subcode, matching the historical
+	// artifact.
+	benchAttack := func(name string, seedOff uint64) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunAttack(ctx, transcript.Spec{
+					Attack:    name,
+					Seed:      seed + uint64(i)*3 + seedOff,
+					Noise:     noise.String(),
+					Expurgate: name == "seqpair",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(r.Queries), "oracle-queries")
+			}
+		}
+	}
 	benches := []struct {
 		name string
 		fn   func(b *testing.B)
 	}{
-		{"AttackSeqPair", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				r, err := experiments.RunSeqPairAttackNoise(ctx, seed+uint64(i)*3+5, true, noise)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(float64(r.Queries), "oracle-queries")
-			}
-		}},
-		{"AttackTempCo", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				r, err := experiments.RunTempCoAttackNoise(ctx, seed+uint64(i)*3+7, noise)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(float64(r.Queries), "oracle-queries")
-			}
-		}},
-		{"AttackGroupBased", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				r, err := experiments.RunGroupBasedAttackNoise(ctx, seed+uint64(i)*3+9, noise)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(float64(r.Queries), "oracle-queries")
-			}
-		}},
-		{"AttackMasking", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				r, err := experiments.RunMaskingAttackNoise(ctx, seed+uint64(i)*3+11, noise)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(float64(r.Queries), "oracle-queries")
-			}
-		}},
-		{"AttackChain", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				r, err := experiments.RunChainAttackNoise(ctx, seed+uint64(i)*3+13, noise)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportMetric(float64(r.Queries), "oracle-queries")
-			}
-		}},
+		{"AttackSeqPair", benchAttack("seqpair", 5)},
+		{"AttackTempCo", benchAttack("tempco", 7)},
+		{"AttackGroupBased", benchAttack("groupbased", 9)},
+		{"AttackMasking", benchAttack("masking", 11)},
+		{"AttackChain", benchAttack("chain", 13)},
 	}
 	fmt.Printf("noise model: %s\n", noise)
 	artifact := make(map[string]BenchRecord, len(benches))

@@ -6,10 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/attack"
 	"repro/internal/device"
 	"repro/internal/ecc"
 	"repro/internal/rng"
@@ -31,12 +32,13 @@ func main() {
 	}
 	truthM := masked.TrueKey()
 	fmt.Printf("Fig. 6b device: distiller + 1-out-of-5 masking, key %d bits\n", truthM.Len())
-	resM, err := core.AttackDistillerMasking(masked, core.DistillerConfig{Dist: core.DefaultDistinguisher()})
+	resM, err := attack.Run(context.Background(), "masking", attack.NewDistillerTarget(masked),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  recovered all %d base-pair bits; key %s (true %s)\n",
-		len(resM.BaseBits), resM.Key, truthM)
+		len(resM.Details.(attack.MaskingDetails).BaseBits), resM.Key, truthM)
 	fmt.Printf("  exact=%v in %d oracle queries\n\n", resM.Key.Equal(truthM), resM.Queries)
 
 	// --- Fig. 6c: distiller + overlapping neighbor chain ---------------
@@ -51,12 +53,13 @@ func main() {
 	}
 	truthC := chain.TrueKey()
 	fmt.Printf("Fig. 6c device: distiller + overlapping chain, key %d bits\n", truthC.Len())
-	resC, err := core.AttackDistillerChain(chain, core.DistillerConfig{Dist: core.DefaultDistinguisher()})
+	resC, err := attack.Run(context.Background(), "chain", attack.NewDistillerTarget(chain),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  hypothesis sets grew to 2^b = %d (the paper's four random bits per valley)\n",
-		resC.MaxHypotheses)
+		resC.Details.(attack.ChainDetails).MaxHypotheses)
 	fmt.Printf("  recovered key %s\n  true key      %s\n", resC.Key, truthC)
 	fmt.Printf("  exact=%v in %d oracle queries\n", resC.Key.Equal(truthC), resC.Queries)
 }

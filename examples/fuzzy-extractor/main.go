@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/attack"
 	"repro/internal/device"
 	"repro/internal/ecc"
 	"repro/internal/experiments"
@@ -46,7 +46,7 @@ func main() {
 	if err := dev.WriteHelper(h); err != nil {
 		log.Fatal(err)
 	}
-	rate := core.EstimateFailureRate(func() bool { return !dev.App() }, 20)
+	rate := attack.EstimateFailureRate(func() bool { return !dev.App() }, 20)
 	fmt.Printf("after a 1-bit helper manipulation: failure rate %.2f regardless of the response\n", rate)
 
 	// The E12 statistic: the attacker's distinguishing advantage.

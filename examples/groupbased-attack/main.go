@@ -6,10 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/attack"
 	"repro/internal/device"
 	"repro/internal/ecc"
 	"repro/internal/groupbased"
@@ -45,12 +46,14 @@ func main() {
 	// values (the Fig. 6a quadratic generalized), the repartitioned
 	// groups pin every other bit, and two candidate sets of ECC helper
 	// data decide the remaining one.
-	res, err := core.AttackGroupBased(dev, core.GroupBasedConfig{Dist: core.DefaultDistinguisher()})
+	res, err := attack.Run(context.Background(), "groupbased", attack.NewGroupBasedTarget(dev),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("attack resolved %d/%d group orders:\n", res.Resolved, len(res.Orders))
-	for g, order := range res.Orders {
+	det := res.Details.(attack.GroupBasedDetails)
+	fmt.Printf("attack resolved %d/%d group orders:\n", det.Resolved, len(det.Orders))
+	for g, order := range det.Orders {
 		if len(order) > 1 {
 			fmt.Printf("  G%-2d frequency order (labels): %v\n", g+1, order)
 		}

@@ -5,10 +5,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/attack"
 	"repro/internal/device"
 	"repro/internal/ecc"
 	"repro/internal/pairing"
@@ -43,7 +44,8 @@ func main() {
 
 	// 3. The attack: manipulate public helper data, watch failure rates,
 	//    recover the key bit relations and finally the key itself.
-	res, err := core.AttackSeqPair(dev, core.SeqPairConfig{Dist: core.DefaultDistinguisher()})
+	res, err := attack.Run(context.Background(), "seqpair", attack.NewSeqPairTarget(dev),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		log.Fatal(err)
 	}

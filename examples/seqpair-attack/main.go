@@ -5,10 +5,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/attack"
 	"repro/internal/device"
 	"repro/internal/ecc"
 	"repro/internal/pairing"
@@ -40,7 +41,7 @@ func main() {
 	if err := dev.WriteHelper(manip); err != nil {
 		log.Fatal(err)
 	}
-	rate := core.EstimateFailureRate(func() bool { return !dev.App() }, 20)
+	rate := attack.EstimateFailureRate(func() bool { return !dev.App() }, 20)
 	fmt.Printf("swap alone: failure rate %.2f (invisible — within the ECC radius)\n", rate)
 
 	// --- Step 2: add the common offset of Fig. 5 — t deterministic
@@ -54,7 +55,7 @@ func main() {
 	if err := dev.WriteHelper(manip); err != nil {
 		log.Fatal(err)
 	}
-	rate = core.EstimateFailureRate(func() bool { return !dev.App() }, 20)
+	rate = attack.EstimateFailureRate(func() bool { return !dev.App() }, 20)
 	truth := dev.TrueKey()
 	fmt.Printf("swap + offset: failure rate %.2f (bits actually %s)\n",
 		rate, map[bool]string{true: "differ", false: "equal"}[truth.Get(0) != truth.Get(1)])
@@ -67,15 +68,17 @@ func main() {
 	// --- Step 3: the packaged attack does this for every pair, then
 	// resolves the final complement via the two candidate sets of ECC
 	// helper data.
-	res, err := core.AttackSeqPair(dev, core.SeqPairConfig{Dist: core.DefaultDistinguisher()})
+	res, err := attack.Run(context.Background(), "seqpair", attack.NewSeqPairTarget(dev),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		log.Fatal(err)
 	}
+	det := res.Details.(attack.SeqPairDetails)
 	fmt.Printf("calibrated rates: offset %.2f vs offset+1 %.2f\n",
-		res.Calibration.PNominal, res.Calibration.PElevated)
+		det.Calibration.PNominal, det.Calibration.PElevated)
 	agree := 0
 	for j := 1; j < truth.Len(); j++ {
-		if res.Relations[j] == (truth.Get(j) != truth.Get(0)) {
+		if det.Relations[j] == (truth.Get(j) != truth.Get(0)) {
 			agree++
 		}
 	}

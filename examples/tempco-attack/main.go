@@ -6,10 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/attack"
 	"repro/internal/device"
 	"repro/internal/ecc"
 	"repro/internal/rng"
@@ -44,28 +45,30 @@ func main() {
 		}
 	}
 
-	res, err := core.AttackTempCo(dev, core.TempCoConfig{Dist: core.DefaultDistinguisher()})
+	res, err := attack.Run(context.Background(), "tempco", attack.NewTempCoTarget(dev),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		log.Fatal(err)
 	}
+	det := res.Details.(attack.TempCoDetails)
 	fmt.Printf("\nattack at ambient %.0f C:\n", dev.Environment().TempC)
 	fmt.Printf("  calibrated failure rates: %.2f (offset) vs %.2f (offset+1)\n",
-		res.Calibration.PNominal, res.Calibration.PElevated)
+		det.Calibration.PNominal, det.Calibration.PElevated)
 	fmt.Printf("  recovered %d cooperating-pair relations relative to pair %d\n",
-		len(res.XorWithRef), res.RefIdx)
-	for x, differs := range res.XorWithRef {
+		len(det.XorWithRef), det.RefIdx)
+	for x, differs := range det.XorWithRef {
 		rel := "equals"
 		if differs {
 			rel = "differs from"
 		}
-		fmt.Printf("    bit of pair %3d %s bit of pair %d\n", x, rel, res.RefIdx)
+		fmt.Printf("    bit of pair %3d %s bit of pair %d\n", x, rel, det.RefIdx)
 	}
-	fmt.Printf("  ABSOLUTELY recovered good-pair (mask) bits: %d\n", len(res.MaskBits))
-	for g, bit := range res.MaskBits {
+	fmt.Printf("  ABSOLUTELY recovered good-pair (mask) bits: %d\n", len(det.MaskBits))
+	for g, bit := range det.MaskBits {
 		fmt.Printf("    good pair %3d carries bit %d\n", g, b2i(bit))
 	}
 	fmt.Printf("  total oracle queries: %d (skipped %d pairs unstable at ambient)\n",
-		res.Queries, len(res.Skipped))
+		res.Queries, len(det.Skipped))
 }
 
 func b2i(b bool) int {

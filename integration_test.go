@@ -6,10 +6,11 @@ package repro
 // would exercise first.
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/attack"
 	"repro/internal/bitvec"
-	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/ecc"
 	"repro/internal/groupbased"
@@ -35,7 +36,8 @@ func TestSeqPairAttackAtElevatedTemperature(t *testing.T) {
 	}
 	d.SetEnvironment(silicon.Environment{TempC: 45, VoltageV: 1.25})
 	truth := d.TrueKey()
-	res, err := core.AttackSeqPair(d, core.SeqPairConfig{Dist: core.DefaultDistinguisher()})
+	res, err := attack.Run(context.Background(), "seqpair", attack.NewSeqPairTarget(d),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +62,8 @@ func TestSeqPairAttackWithRepetitionCode(t *testing.T) {
 		t.Fatal(err)
 	}
 	truth := d.TrueKey()
-	res, err := core.AttackSeqPair(d, core.SeqPairConfig{Dist: core.DefaultDistinguisher()})
+	res, err := attack.Run(context.Background(), "seqpair", attack.NewSeqPairTarget(d),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +220,8 @@ func attackGroupArray(t *testing.T, rows, cols int, seed uint64) (bool, error) {
 		return false, err
 	}
 	truth := d.TrueKey()
-	res, err := core.AttackGroupBased(d, core.GroupBasedConfig{Dist: core.DefaultDistinguisher()})
+	res, err := attack.Run(context.Background(), "groupbased", attack.NewGroupBasedTarget(d),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		return false, err
 	}
@@ -252,7 +256,8 @@ func TestSeqPairAttackWithGolayCode(t *testing.T) {
 		t.Fatal(err)
 	}
 	truth := d.TrueKey()
-	res, err := core.AttackSeqPair(d, core.SeqPairConfig{Dist: core.DefaultDistinguisher()})
+	res, err := attack.Run(context.Background(), "seqpair", attack.NewSeqPairTarget(d),
+		attack.Options{Dist: attack.DefaultDistinguisher()})
 	if err != nil {
 		t.Fatal(err)
 	}

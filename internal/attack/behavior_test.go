@@ -1,23 +1,43 @@
-package core
+package attack
+
+// Behavioral coverage of the five registered attacks against silicon
+// ground truth — relation correctness, helper restoration, strategy
+// variants, wrong-construction rejection. These tests are phrased onto
+// Run + Details; the bit-exact determinism contracts live in
+// testdata/transcripts/ at the repository root.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/device"
 	"repro/internal/ecc"
-	"repro/internal/groupbased"
 	"repro/internal/pairing"
 	"repro/internal/rng"
+	"repro/internal/tempco"
 )
 
-func seqDevice(t *testing.T, seed uint64, expurgated bool) *device.SeqPairDevice {
+// tempcoParams is the shared test configuration for tempco devices.
+func tempcoParams() tempco.Params {
+	return tempco.Params{
+		Rows: 8, Cols: 16,
+		ThresholdMHz: 0.6,
+		TminC:        -20, TmaxC: 80,
+		Policy:     tempco.RandomSelection,
+		Code:       ecc.MustBCH(ecc.BCHConfig{M: 6, T: 3}),
+		EnrollReps: 25,
+	}
+}
+
+// plainSeqPairDevice enrolls the non-expurgated variant of
+// seqPairDevice (plain narrow-sense BCH, complement ambiguity possible).
+func plainSeqPairDevice(t testing.TB, seed uint64) *device.SeqPairDevice {
 	t.Helper()
-	code := ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3, Expurgate: expurgated})
 	d, err := device.EnrollSeqPair(device.SeqPairParams{
 		Rows: 8, Cols: 16,
 		ThresholdMHz: 0.8,
 		Policy:       pairing.RandomizedStorage,
-		Code:         code,
+		Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
 		EnrollReps:   20,
 	}, rng.New(seed), rng.New(seed+1))
 	if err != nil {
@@ -27,17 +47,19 @@ func seqDevice(t *testing.T, seed uint64, expurgated bool) *device.SeqPairDevice
 }
 
 func TestAttackSeqPairRecoversRelations(t *testing.T) {
-	d := seqDevice(t, 10, false)
+	d := plainSeqPairDevice(t, 10)
 	truth := d.TrueKey()
-	res, err := AttackSeqPair(d, SeqPairConfig{Dist: DefaultDistinguisher()})
+	res, err := Run(context.Background(), "seqpair", NewSeqPairTarget(d),
+		Options{Dist: DefaultDistinguisher()})
 	if err != nil {
 		t.Fatal(err)
 	}
+	det := res.Details.(SeqPairDetails)
 	// Relations must match ground truth exactly.
 	for j := 1; j < truth.Len(); j++ {
 		want := truth.Get(j) != truth.Get(0)
-		if res.Relations[j] != want {
-			t.Fatalf("relation %d: got %v want %v", j, res.Relations[j], want)
+		if det.Relations[j] != want {
+			t.Fatalf("relation %d: got %v want %v", j, det.Relations[j], want)
 		}
 	}
 	// Plain narrow-sense BCH contains the all-ones word, but the
@@ -61,9 +83,10 @@ func TestAttackSeqPairRecoversRelations(t *testing.T) {
 }
 
 func TestAttackSeqPairExpurgatedResolvesFully(t *testing.T) {
-	d := seqDevice(t, 20, true)
+	d := seqPairDevice(t, 20)
 	truth := d.TrueKey()
-	res, err := AttackSeqPair(d, SeqPairConfig{Dist: DefaultDistinguisher()})
+	res, err := Run(context.Background(), "seqpair", NewSeqPairTarget(d),
+		Options{Dist: DefaultDistinguisher()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,8 +100,9 @@ func TestAttackSeqPairExpurgatedResolvesFully(t *testing.T) {
 }
 
 func TestAttackSeqPairLeavesDeviceWorking(t *testing.T) {
-	d := seqDevice(t, 30, true)
-	if _, err := AttackSeqPair(d, SeqPairConfig{Dist: DefaultDistinguisher()}); err != nil {
+	d := seqPairDevice(t, 30)
+	if _, err := Run(context.Background(), "seqpair", NewSeqPairTarget(d),
+		Options{Dist: DefaultDistinguisher()}); err != nil {
 		t.Fatal(err)
 	}
 	// The attack restores the original helper: the device must still
@@ -95,11 +119,10 @@ func TestAttackSeqPairLeavesDeviceWorking(t *testing.T) {
 }
 
 func TestAttackSeqPairFixedSampleStrategy(t *testing.T) {
-	d := seqDevice(t, 40, true)
+	d := seqPairDevice(t, 40)
 	truth := d.TrueKey()
-	res, err := AttackSeqPair(d, SeqPairConfig{
-		Dist: Distinguisher{Strategy: FixedSample, Queries: 8},
-	})
+	res, err := Run(context.Background(), "seqpair", NewSeqPairTarget(d),
+		Options{Dist: Distinguisher{Strategy: FixedSample, Queries: 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,10 +142,12 @@ func tempcoDevice(t *testing.T, seed uint64) *device.TempCoDevice {
 
 func TestAttackTempCoRecoversRelations(t *testing.T) {
 	d := tempcoDevice(t, 50)
-	res, err := AttackTempCo(d, TempCoConfig{Dist: DefaultDistinguisher()})
+	rep, err := Run(context.Background(), "tempco", NewTempCoTarget(d),
+		Options{Dist: DefaultDistinguisher()})
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := rep.Details.(TempCoDetails)
 	// Ground truth: reference bits from noise-free low-temperature
 	// deltas.
 	arr := d.Array()
@@ -154,12 +179,13 @@ func TestAttackTempCoRecoversRelations(t *testing.T) {
 		t.Fatal("no mask bits recovered")
 	}
 	t.Logf("tempco: %d coop relations, %d absolute mask bits, %d skipped, %d queries",
-		checked, len(res.MaskBits), len(res.Skipped), res.Queries)
+		checked, len(res.MaskBits), len(res.Skipped), rep.Queries)
 }
 
 func TestAttackTempCoRestoresHelper(t *testing.T) {
 	d := tempcoDevice(t, 60)
-	if _, err := AttackTempCo(d, TempCoConfig{Dist: DefaultDistinguisher()}); err != nil {
+	if _, err := Run(context.Background(), "tempco", NewTempCoTarget(d),
+		Options{Dist: DefaultDistinguisher()}); err != nil {
 		t.Fatal(err)
 	}
 	ok := 0
@@ -173,37 +199,23 @@ func TestAttackTempCoRestoresHelper(t *testing.T) {
 	}
 }
 
-func groupDevice(t *testing.T, seed uint64) *device.GroupBasedDevice {
-	t.Helper()
-	d, err := device.EnrollGroupBased(groupbased.Params{
-		Rows: 4, Cols: 10, // the paper's Fig. 6a array
-		Degree:       2,
-		ThresholdMHz: 0.5,
-		MaxGroupSize: 6,
-		Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
-		EnrollReps:   25,
-	}, rng.New(seed), rng.New(seed+1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return d
-}
-
 func TestAttackGroupBasedRecoversFullKey(t *testing.T) {
-	d := groupDevice(t, 70)
+	d := groupBasedDevice(t, 70)
 	truth := d.TrueKey()
-	res, err := AttackGroupBased(d, GroupBasedConfig{Dist: DefaultDistinguisher()})
+	rep, err := Run(context.Background(), "groupbased", NewGroupBasedTarget(d),
+		Options{Dist: DefaultDistinguisher()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Key.Len() == 0 {
-		t.Fatalf("key not assembled; resolved %d groups", res.Resolved)
+	det := rep.Details.(GroupBasedDetails)
+	if rep.Key.Len() == 0 {
+		t.Fatalf("key not assembled; resolved %d groups", det.Resolved)
 	}
-	if !res.Key.Equal(truth) {
-		t.Fatalf("full key recovery failed:\n got %s\nwant %s", res.Key, truth)
+	if !rep.Key.Equal(truth) {
+		t.Fatalf("full key recovery failed:\n got %s\nwant %s", rep.Key, truth)
 	}
 	t.Logf("groupbased: %d-bit key, %d groups resolved, %d queries",
-		truth.Len(), res.Resolved, res.Queries)
+		truth.Len(), det.Resolved, rep.Queries)
 }
 
 func distillerDevice(t *testing.T, seed uint64, mode device.PairingMode) *device.DistillerPairDevice {
@@ -225,20 +237,22 @@ func distillerDevice(t *testing.T, seed uint64, mode device.PairingMode) *device
 func TestAttackDistillerMaskingRecoversKey(t *testing.T) {
 	d := distillerDevice(t, 80, device.MaskedChain)
 	truth := d.TrueKey()
-	res, err := AttackDistillerMasking(d, DistillerConfig{Dist: DefaultDistinguisher()})
+	rep, err := Run(context.Background(), "masking", NewDistillerTarget(d),
+		Options{Dist: DefaultDistinguisher()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Key.Equal(truth) {
-		t.Fatalf("masking attack failed:\n got %s\nwant %s", res.Key, truth)
+	det := rep.Details.(MaskingDetails)
+	if !rep.Key.Equal(truth) {
+		t.Fatalf("masking attack failed:\n got %s\nwant %s", rep.Key, truth)
 	}
 	t.Logf("distiller+masking: %d-bit key, %d base bits, %d queries",
-		truth.Len(), len(res.BaseBits), res.Queries)
+		truth.Len(), len(det.BaseBits), rep.Queries)
 }
 
 func TestAttackDistillerMaskingRejectsWrongMode(t *testing.T) {
 	d := distillerDevice(t, 90, device.OverlappingChain)
-	if _, err := AttackDistillerMasking(d, DistillerConfig{}); err == nil {
+	if _, err := Run(context.Background(), "masking", NewDistillerTarget(d), Options{}); err == nil {
 		t.Fatal("expected mode error")
 	}
 }
@@ -246,25 +260,27 @@ func TestAttackDistillerMaskingRejectsWrongMode(t *testing.T) {
 func TestAttackDistillerChainRecoversKey(t *testing.T) {
 	d := distillerDevice(t, 100, device.OverlappingChain)
 	truth := d.TrueKey()
-	res, err := AttackDistillerChain(d, DistillerConfig{Dist: DefaultDistinguisher()})
+	rep, err := Run(context.Background(), "chain", NewDistillerTarget(d),
+		Options{Dist: DefaultDistinguisher()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Key.Equal(truth) {
-		t.Fatalf("chain attack failed:\n got %s\nwant %s", res.Key, truth)
+	det := rep.Details.(ChainDetails)
+	if !rep.Key.Equal(truth) {
+		t.Fatalf("chain attack failed:\n got %s\nwant %s", rep.Key, truth)
 	}
 	// Fig. 6c: the 4x10 array yields 2^4 hypotheses at column
 	// boundaries.
-	if res.MaxHypotheses != 16 {
-		t.Fatalf("max hypotheses %d, want 16", res.MaxHypotheses)
+	if det.MaxHypotheses != 16 {
+		t.Fatalf("max hypotheses %d, want 16", det.MaxHypotheses)
 	}
 	t.Logf("distiller+chain: %d-bit key, max %d hypotheses, %d queries",
-		truth.Len(), res.MaxHypotheses, res.Queries)
+		truth.Len(), det.MaxHypotheses, rep.Queries)
 }
 
 func TestAttackDistillerChainRejectsWrongMode(t *testing.T) {
 	d := distillerDevice(t, 110, device.MaskedChain)
-	if _, err := AttackDistillerChain(d, DistillerConfig{}); err == nil {
+	if _, err := Run(context.Background(), "chain", NewDistillerTarget(d), Options{}); err == nil {
 		t.Fatal("expected mode error")
 	}
 }

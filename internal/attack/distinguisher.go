@@ -12,9 +12,8 @@ import (
 // Fig. 5): hypotheses about response bits map to helper manipulations; a
 // common offset of deterministic errors pushes the ECC to the edge of
 // its correction radius; the hypothesis whose failure rate stays nominal
-// wins. It moved here from internal/core so that attacks and
-// distinguisher live behind the same oracle-agnostic surface; internal/
-// core re-exports every name as a deprecated alias.
+// wins. Attacks and distinguisher live together behind the same
+// oracle-agnostic Target surface.
 
 // ErrNoArms reports a hypothesis test over an empty arm set — a malformed
 // attack configuration rather than a statistical outcome. Attacks return

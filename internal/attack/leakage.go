@@ -1,4 +1,4 @@
-package core
+package attack
 
 import (
 	"repro/internal/tempco"

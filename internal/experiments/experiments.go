@@ -12,7 +12,6 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/campaign"
-	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/distiller"
 	"repro/internal/ecc"
@@ -24,6 +23,7 @@ import (
 	"repro/internal/silicon"
 	"repro/internal/stats"
 	"repro/internal/tempco"
+	"repro/internal/transcript"
 )
 
 // ---------------------------------------------------------------- E1 --
@@ -240,264 +240,17 @@ func Fig5(seed uint64, samples int) (Fig5Result, error) {
 	return res, nil
 }
 
-// ------------------------------------------------------------ E5/E10 --
+// ----------------------------------------------------------- E5–E10 --
 
-// GroupAttackResult summarizes a §VI-C end-to-end run.
-type GroupAttackResult struct {
-	KeyBits   int
-	Recovered bool
-	Resolved  int
-	Groups    int
-	Queries   int
-}
-
-// RunGroupBasedAttack enrolls a group-based device on the paper's 4x10
-// Fig. 6 array and runs the full key recovery through the attack
-// registry, under the legacy stream noise model.
-func RunGroupBasedAttack(ctx context.Context, seed uint64) (GroupAttackResult, error) {
-	return RunGroupBasedAttackNoise(ctx, seed, silicon.NoiseStream)
-}
-
-// RunGroupBasedAttackNoise is RunGroupBasedAttack under an explicit
-// silicon noise model.
-func RunGroupBasedAttackNoise(ctx context.Context, seed uint64, noise silicon.NoiseModelKind) (GroupAttackResult, error) {
-	d, err := device.EnrollGroupBased(groupbased.Params{
-		Rows: 4, Cols: 10,
-		Degree:       2,
-		ThresholdMHz: 0.5,
-		MaxGroupSize: 6,
-		Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
-		EnrollReps:   25,
-		Noise:        noise,
-	}, rng.New(seed), rng.New(seed+1))
-	if err != nil {
-		return GroupAttackResult{}, err
-	}
-	truth := d.TrueKey()
-	rep, err := attack.Run(ctx, "groupbased", attack.NewGroupBasedTarget(d),
-		attack.Options{Dist: attack.DefaultDistinguisher()})
-	if err != nil {
-		return GroupAttackResult{}, err
-	}
-	det := rep.Details.(attack.GroupBasedDetails)
-	return GroupAttackResult{
-		KeyBits:   truth.Len(),
-		Recovered: rep.Key.Equal(truth),
-		Resolved:  det.Resolved,
-		Groups:    len(det.Orders),
-		Queries:   rep.Queries,
-	}, nil
-}
-
-// ---------------------------------------------------------------- E6 --
-
-// MaskingAttackSummary summarizes a Fig. 6b end-to-end run.
-type MaskingAttackSummary struct {
-	KeyBits   int
-	BaseBits  int
-	Recovered bool
-	Queries   int
-}
-
-// RunMaskingAttack enrolls a distiller + 1-out-of-5 masking device on the
-// 4x10 array and runs the Fig. 6b recovery through the attack registry,
-// under the legacy stream noise model.
-func RunMaskingAttack(ctx context.Context, seed uint64) (MaskingAttackSummary, error) {
-	return RunMaskingAttackNoise(ctx, seed, silicon.NoiseStream)
-}
-
-// RunMaskingAttackNoise is RunMaskingAttack under an explicit silicon
-// noise model.
-func RunMaskingAttackNoise(ctx context.Context, seed uint64, noise silicon.NoiseModelKind) (MaskingAttackSummary, error) {
-	d, err := device.EnrollDistillerPair(device.DistillerPairParams{
-		Rows: 4, Cols: 10,
-		Degree:     2,
-		Mode:       device.MaskedChain,
-		K:          5,
-		Code:       ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
-		EnrollReps: 25,
-		Noise:      noise,
-	}, rng.New(seed), rng.New(seed+1))
-	if err != nil {
-		return MaskingAttackSummary{}, err
-	}
-	truth := d.TrueKey()
-	rep, err := attack.Run(ctx, "masking", attack.NewDistillerTarget(d),
-		attack.Options{Dist: attack.DefaultDistinguisher()})
-	if err != nil {
-		return MaskingAttackSummary{}, err
-	}
-	det := rep.Details.(attack.MaskingDetails)
-	return MaskingAttackSummary{
-		KeyBits:   truth.Len(),
-		BaseBits:  len(det.BaseBits),
-		Recovered: rep.Key.Equal(truth),
-		Queries:   rep.Queries,
-	}, nil
-}
-
-// ---------------------------------------------------------------- E7 --
-
-// ChainAttackSummary summarizes a Fig. 6c end-to-end run.
-type ChainAttackSummary struct {
-	KeyBits       int
-	MaxHypotheses int
-	Recovered     bool
-	Queries       int
-}
-
-// RunChainAttack enrolls a distiller + overlapping chain device on the
-// 4x10 array and runs the Fig. 6c recovery (2^4 hypotheses at column
-// boundaries) through the attack registry, under the legacy stream
-// noise model.
-func RunChainAttack(ctx context.Context, seed uint64) (ChainAttackSummary, error) {
-	return RunChainAttackNoise(ctx, seed, silicon.NoiseStream)
-}
-
-// RunChainAttackNoise is RunChainAttack under an explicit silicon noise
-// model.
-func RunChainAttackNoise(ctx context.Context, seed uint64, noise silicon.NoiseModelKind) (ChainAttackSummary, error) {
-	d, err := device.EnrollDistillerPair(device.DistillerPairParams{
-		Rows: 4, Cols: 10,
-		Degree:     2,
-		Mode:       device.OverlappingChain,
-		Code:       ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3}),
-		EnrollReps: 25,
-		Noise:      noise,
-	}, rng.New(seed), rng.New(seed+1))
-	if err != nil {
-		return ChainAttackSummary{}, err
-	}
-	truth := d.TrueKey()
-	rep, err := attack.Run(ctx, "chain", attack.NewDistillerTarget(d),
-		attack.Options{Dist: attack.DefaultDistinguisher()})
-	if err != nil {
-		return ChainAttackSummary{}, err
-	}
-	det := rep.Details.(attack.ChainDetails)
-	return ChainAttackSummary{
-		KeyBits:       truth.Len(),
-		MaxHypotheses: det.MaxHypotheses,
-		Recovered:     rep.Key.Equal(truth),
-		Queries:       rep.Queries,
-	}, nil
-}
-
-// ---------------------------------------------------------------- E8 --
-
-// SeqPairAttackSummary summarizes a §VI-A end-to-end run.
-type SeqPairAttackSummary struct {
-	KeyBits        int
-	Recovered      bool // exact key (complement resolved)
-	UpToComplement bool
-	Ambiguous      bool
-	Queries        int
-}
-
-// RunSeqPairAttack enrolls a LISA device and runs the full §VI-A
-// recovery through the attack registry, under the legacy stream noise
-// model. expurgate selects the even-weight BCH subcode, which removes
-// the complement ambiguity.
-func RunSeqPairAttack(ctx context.Context, seed uint64, expurgate bool) (SeqPairAttackSummary, error) {
-	return RunSeqPairAttackNoise(ctx, seed, expurgate, silicon.NoiseStream)
-}
-
-// RunSeqPairAttackNoise is RunSeqPairAttack under an explicit silicon
-// noise model.
-func RunSeqPairAttackNoise(ctx context.Context, seed uint64, expurgate bool, noise silicon.NoiseModelKind) (SeqPairAttackSummary, error) {
-	d, err := device.EnrollSeqPair(device.SeqPairParams{
-		Rows: 8, Cols: 16,
-		ThresholdMHz: 0.8,
-		Policy:       pairing.RandomizedStorage,
-		Code:         ecc.MustBCH(ecc.BCHConfig{M: 5, T: 3, Expurgate: expurgate}),
-		EnrollReps:   20,
-		Noise:        noise,
-	}, rng.New(seed), rng.New(seed+1))
-	if err != nil {
-		return SeqPairAttackSummary{}, err
-	}
-	truth := d.TrueKey()
-	rep, err := attack.Run(ctx, "seqpair", attack.NewSeqPairTarget(d),
-		attack.Options{Dist: attack.DefaultDistinguisher()})
-	if err != nil {
-		return SeqPairAttackSummary{}, err
-	}
-	return SeqPairAttackSummary{
-		KeyBits:        truth.Len(),
-		Recovered:      rep.Key.Equal(truth),
-		UpToComplement: rep.Key.Equal(truth) || rep.Key.Equal(truth.Not()),
-		Ambiguous:      rep.Ambiguous,
-		Queries:        rep.Queries,
-	}, nil
-}
-
-// ---------------------------------------------------------------- E9 --
-
-// TempCoAttackSummary summarizes a §VI-B end-to-end run.
-type TempCoAttackSummary struct {
-	CoopPairs      int
-	RelationsFound int
-	RelationsRight int
-	MaskBitsFound  int
-	MaskBitsRight  int
-	Skipped        int
-	Queries        int
-}
-
-// RunTempCoAttack enrolls a temperature-aware cooperative device and runs
-// the §VI-B relation recovery through the attack registry, scoring it
-// against silicon ground truth, under the legacy stream noise model.
-func RunTempCoAttack(ctx context.Context, seed uint64) (TempCoAttackSummary, error) {
-	return RunTempCoAttackNoise(ctx, seed, silicon.NoiseStream)
-}
-
-// RunTempCoAttackNoise is RunTempCoAttack under an explicit silicon
-// noise model.
-func RunTempCoAttackNoise(ctx context.Context, seed uint64, noise silicon.NoiseModelKind) (TempCoAttackSummary, error) {
-	p := tempco.Params{
-		Rows: 8, Cols: 16,
-		ThresholdMHz: 0.6,
-		TminC:        -20, TmaxC: 80,
-		Policy:     tempco.RandomSelection,
-		Code:       ecc.MustBCH(ecc.BCHConfig{M: 6, T: 3}),
-		EnrollReps: 25,
-		Noise:      noise,
-	}
-	d, err := device.EnrollTempCo(p, rng.New(seed), rng.New(seed+1))
-	if err != nil {
-		return TempCoAttackSummary{}, err
-	}
-	rep, err := attack.Run(ctx, "tempco", attack.NewTempCoTarget(d),
-		attack.Options{Dist: attack.DefaultDistinguisher()})
-	if err != nil {
-		return TempCoAttackSummary{}, err
-	}
-	res := rep.Details.(attack.TempCoDetails)
-	arr := d.Array()
-	h := d.ReadHelper()
-	envMin := arr.Config().NominalEnv()
-	envMin.TempC = p.TminC
-	refBit := func(i int) bool {
-		return arr.PairDeltaF(h.Pairs[i].Pair.A, h.Pairs[i].Pair.B, envMin) > 0
-	}
-	sum := TempCoAttackSummary{
-		CoopPairs: len(res.CoopIdx),
-		Skipped:   len(res.Skipped),
-		Queries:   rep.Queries,
-	}
-	for x, got := range res.XorWithRef {
-		sum.RelationsFound++
-		if got == (refBit(x) != refBit(res.RefIdx)) {
-			sum.RelationsRight++
-		}
-	}
-	for g, got := range res.MaskBits {
-		sum.MaskBitsFound++
-		if got == refBit(g) {
-			sum.MaskBitsRight++
-		}
-	}
-	return sum, nil
+// RunAttack is the single attack entry point of the experiments layer:
+// it executes one transcript Spec (attack × seed × noise model ×
+// options) through the attack registry against a freshly enrolled
+// reference device and returns its canonical Transcript. Every
+// attack-backed experiment — campaign tasks, benchmarks, goldens,
+// cmd/puf-bench — goes through this one function; the per-attack
+// Run*Attack/Run*AttackNoise wrappers it replaces are gone.
+func RunAttack(ctx context.Context, spec transcript.Spec) (transcript.Transcript, error) {
+	return transcript.Run(ctx, spec)
 }
 
 // --------------------------------------------------------------- E11 --
@@ -594,7 +347,7 @@ func FuzzyResistance(seed uint64, queries int) (FuzzyResistanceResult, error) {
 		if err := d.WriteHelper(manip); err != nil {
 			return FuzzyResistanceResult{}, err
 		}
-		rate := core.EstimateFailureRate(func() bool { return !d.App() }, queries)
+		rate := attack.EstimateFailureRate(func() bool { return !d.App() }, queries)
 		if truth.Get(0) != truth.Get(1) {
 			diffRates = append(diffRates, rate)
 		} else {
@@ -616,7 +369,7 @@ func FuzzyResistance(seed uint64, queries int) (FuzzyResistanceResult, error) {
 		if err := fd.WriteHelper(fh); err != nil {
 			return FuzzyResistanceResult{}, err
 		}
-		frate := core.EstimateFailureRate(func() bool { return !fd.App() }, queries)
+		frate := attack.EstimateFailureRate(func() bool { return !fd.App() }, queries)
 		// Class by a response bit the attacker would target (bit 0 of
 		// the underlying chain response, read from ground truth).
 		if fuzzyBitZero(srcSeed + 500) {
@@ -729,7 +482,7 @@ type StrategyCost struct {
 // AblationStrategy runs the seqpair attack twice on identically
 // manufactured devices, once per strategy.
 func AblationStrategy(seed uint64) (StrategyCost, error) {
-	run := func(dist core.Distinguisher) (int, bool, error) {
+	run := func(dist attack.Distinguisher) (int, bool, error) {
 		d, err := device.EnrollSeqPair(device.SeqPairParams{
 			Rows: 8, Cols: 16,
 			ThresholdMHz: 0.8,
@@ -741,17 +494,18 @@ func AblationStrategy(seed uint64) (StrategyCost, error) {
 			return 0, false, err
 		}
 		truth := d.TrueKey()
-		res, err := core.AttackSeqPair(d, core.SeqPairConfig{Dist: dist})
+		res, err := attack.Run(context.Background(), "seqpair", attack.NewSeqPairTarget(d),
+			attack.Options{Dist: dist})
 		if err != nil {
 			return 0, false, err
 		}
 		return res.Queries, res.Key.Equal(truth), nil
 	}
-	seqQ, seqOK, err := run(core.DefaultDistinguisher())
+	seqQ, seqOK, err := run(attack.DefaultDistinguisher())
 	if err != nil {
 		return StrategyCost{}, err
 	}
-	fixQ, fixOK, err := run(core.Distinguisher{Strategy: core.FixedSample, Queries: 10})
+	fixQ, fixOK, err := run(attack.Distinguisher{Strategy: attack.FixedSample, Queries: 10})
 	if err != nil {
 		return StrategyCost{}, err
 	}
@@ -804,17 +558,19 @@ func AblationOffsetSizeWorkers(ctx context.Context, seed uint64, workers int) ([
 			return err
 		}
 		truth := d.TrueKey()
-		res, err := core.AttackSeqPair(d, core.SeqPairConfig{
-			Dist:         core.DefaultDistinguisher(),
-			InjectErrors: inject,
-		})
+		res, err := attack.Run(context.Background(), "seqpair", attack.NewSeqPairTarget(d),
+			attack.Options{
+				Dist:         attack.DefaultDistinguisher(),
+				InjectErrors: inject,
+			})
 		if err != nil {
 			return err
 		}
+		cal := res.Details.(attack.SeqPairDetails).Calibration
 		out[i] = OffsetSizeRow{
 			InjectErrors: inject,
-			PNominal:     res.Calibration.PNominal,
-			PElevated:    res.Calibration.PElevated,
+			PNominal:     cal.PNominal,
+			PElevated:    cal.PElevated,
 			Queries:      res.Queries,
 			Recovered:    res.Key.Equal(truth) || res.Key.Equal(truth.Not()),
 		}
@@ -853,29 +609,41 @@ type seedAttackOutcome struct {
 // order.
 func attackAllOnSeed(ctx context.Context, s uint64, noise silicon.NoiseModelKind) (seedAttackOutcome, error) {
 	var o seedAttackOutcome
-	sp, err := RunSeqPairAttackNoise(ctx, s, true, noise)
+	run := func(name string) (transcript.Transcript, error) {
+		tr, err := RunAttack(ctx, transcript.Spec{
+			Attack:    name,
+			Seed:      s,
+			Noise:     noise.String(),
+			Expurgate: name == "seqpair",
+		})
+		if err != nil {
+			return tr, fmt.Errorf("%s seed %d: %w", name, s, err)
+		}
+		return tr, nil
+	}
+	sp, err := run("seqpair")
 	if err != nil {
-		return o, fmt.Errorf("seqpair seed %d: %w", s, err)
+		return o, err
 	}
 	o.seqPair = sp.Recovered
-	gb, err := RunGroupBasedAttackNoise(ctx, s, noise)
+	gb, err := run("groupbased")
 	if err != nil {
-		return o, fmt.Errorf("groupbased seed %d: %w", s, err)
+		return o, err
 	}
 	o.groupBased = gb.Recovered
-	mk, err := RunMaskingAttackNoise(ctx, s, noise)
+	mk, err := run("masking")
 	if err != nil {
-		return o, fmt.Errorf("masking seed %d: %w", s, err)
+		return o, err
 	}
 	o.masking = mk.Recovered
-	ch, err := RunChainAttackNoise(ctx, s, noise)
+	ch, err := run("chain")
 	if err != nil {
-		return o, fmt.Errorf("chain seed %d: %w", s, err)
+		return o, err
 	}
 	o.chain = ch.Recovered
-	tc, err := RunTempCoAttackNoise(ctx, s, noise)
+	tc, err := run("tempco")
 	if err != nil {
-		return o, fmt.Errorf("tempco seed %d: %w", s, err)
+		return o, err
 	}
 	o.relFound = tc.RelationsFound
 	o.relRight = tc.RelationsRight

@@ -3,6 +3,8 @@ package experiments
 import (
 	"context"
 	"testing"
+
+	"repro/internal/transcript"
 )
 
 // paperTableI is the ground truth from the paper for spot checks (full
@@ -89,61 +91,61 @@ func TestFig5Separation(t *testing.T) {
 }
 
 func TestRunSeqPairAttackE8(t *testing.T) {
-	sum, err := RunSeqPairAttack(context.Background(), 5, true)
+	tr, err := RunAttack(context.Background(), transcript.Spec{Attack: "seqpair", Seed: 5, Expurgate: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sum.Recovered {
-		t.Fatalf("expurgated attack did not recover the key: %+v", sum)
+	if !tr.Recovered {
+		t.Fatalf("expurgated attack did not recover the key: %+v", tr)
 	}
-	if sum.Queries <= 0 || sum.KeyBits <= 0 {
-		t.Fatalf("degenerate summary %+v", sum)
+	if tr.Queries <= 0 || tr.EnrolledKeyBits <= 0 {
+		t.Fatalf("degenerate transcript %+v", tr)
 	}
 }
 
 func TestRunTempCoAttackE9(t *testing.T) {
-	sum, err := RunTempCoAttack(context.Background(), 7)
+	tr, err := RunAttack(context.Background(), transcript.Spec{Attack: "tempco", Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sum.RelationsFound == 0 || sum.RelationsRight != sum.RelationsFound {
-		t.Fatalf("relations %d/%d", sum.RelationsRight, sum.RelationsFound)
+	if tr.RelationsFound == 0 || tr.RelationsRight != tr.RelationsFound {
+		t.Fatalf("relations %d/%d", tr.RelationsRight, tr.RelationsFound)
 	}
-	if sum.MaskBitsFound == 0 || sum.MaskBitsRight != sum.MaskBitsFound {
-		t.Fatalf("mask bits %d/%d", sum.MaskBitsRight, sum.MaskBitsFound)
+	if tr.MaskBitsFound == 0 || tr.MaskBitsRight != tr.MaskBitsFound {
+		t.Fatalf("mask bits %d/%d", tr.MaskBitsRight, tr.MaskBitsFound)
 	}
 }
 
 func TestRunGroupBasedAttackE5(t *testing.T) {
-	sum, err := RunGroupBasedAttack(context.Background(), 9)
+	tr, err := RunAttack(context.Background(), transcript.Spec{Attack: "groupbased", Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sum.Recovered {
-		t.Fatalf("group-based attack failed: %+v", sum)
+	if !tr.Recovered {
+		t.Fatalf("group-based attack failed: %+v", tr)
 	}
 }
 
 func TestRunMaskingAttackE6(t *testing.T) {
-	sum, err := RunMaskingAttack(context.Background(), 11)
+	tr, err := RunAttack(context.Background(), transcript.Spec{Attack: "masking", Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sum.Recovered {
-		t.Fatalf("masking attack failed: %+v", sum)
+	if !tr.Recovered {
+		t.Fatalf("masking attack failed: %+v", tr)
 	}
 }
 
 func TestRunChainAttackE7(t *testing.T) {
-	sum, err := RunChainAttack(context.Background(), 13)
+	tr, err := RunAttack(context.Background(), transcript.Spec{Attack: "chain", Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sum.Recovered {
-		t.Fatalf("chain attack failed: %+v", sum)
+	if !tr.Recovered {
+		t.Fatalf("chain attack failed: %+v", tr)
 	}
-	if sum.MaxHypotheses != 16 {
-		t.Fatalf("max hypotheses %d, want 16 (Fig. 6c)", sum.MaxHypotheses)
+	if tr.MaxHypotheses != 16 {
+		t.Fatalf("max hypotheses %d, want 16 (Fig. 6c)", tr.MaxHypotheses)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/silicon"
+	"repro/internal/transcript"
 )
 
 // taskNoise resolves the campaign-wide noise-model option for the
@@ -94,17 +95,13 @@ func init() {
 		Name: "groupbased-attack", Desc: "§VI-C group-based key recovery", Figure: "Fig. 6a",
 		Binary: []string{"recovered"},
 		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
-			noise, err := taskNoise(opt)
-			if err != nil {
-				return nil, err
-			}
-			r, err := RunGroupBasedAttackNoise(ctx, seed, noise)
+			r, err := RunAttack(ctx, transcript.Spec{Attack: "groupbased", Seed: seed, Noise: opt.Noise})
 			if err != nil {
 				return nil, err
 			}
 			return campaign.Metrics{
 				"recovered":      campaign.Bool(r.Recovered),
-				"key-bits":       float64(r.KeyBits),
+				"key-bits":       float64(r.EnrolledKeyBits),
 				"groups":         float64(r.Groups),
 				"resolved":       float64(r.Resolved),
 				"oracle-queries": float64(r.Queries),
@@ -116,17 +113,13 @@ func init() {
 		Name: "masking-attack", Desc: "§VI-D distiller + 1-out-of-5 masking key recovery", Figure: "Fig. 6b",
 		Binary: []string{"recovered"},
 		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
-			noise, err := taskNoise(opt)
-			if err != nil {
-				return nil, err
-			}
-			r, err := RunMaskingAttackNoise(ctx, seed, noise)
+			r, err := RunAttack(ctx, transcript.Spec{Attack: "masking", Seed: seed, Noise: opt.Noise})
 			if err != nil {
 				return nil, err
 			}
 			return campaign.Metrics{
 				"recovered":      campaign.Bool(r.Recovered),
-				"key-bits":       float64(r.KeyBits),
+				"key-bits":       float64(r.EnrolledKeyBits),
 				"base-bits":      float64(r.BaseBits),
 				"oracle-queries": float64(r.Queries),
 			}, nil
@@ -137,17 +130,13 @@ func init() {
 		Name: "chain-attack", Desc: "§VI-D distiller + overlapping chain key recovery", Figure: "Fig. 6c",
 		Binary: []string{"recovered"},
 		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
-			noise, err := taskNoise(opt)
-			if err != nil {
-				return nil, err
-			}
-			r, err := RunChainAttackNoise(ctx, seed, noise)
+			r, err := RunAttack(ctx, transcript.Spec{Attack: "chain", Seed: seed, Noise: opt.Noise})
 			if err != nil {
 				return nil, err
 			}
 			return campaign.Metrics{
 				"recovered":      campaign.Bool(r.Recovered),
-				"key-bits":       float64(r.KeyBits),
+				"key-bits":       float64(r.EnrolledKeyBits),
 				"max-hypotheses": float64(r.MaxHypotheses),
 				"oracle-queries": float64(r.Queries),
 			}, nil
@@ -158,11 +147,9 @@ func init() {
 		Name: "seqpair-attack", Desc: "§VI-A sequential-pairing (LISA) key recovery, expurgated code", Figure: "§VI-A",
 		Binary: []string{"recovered", "up-to-complement", "ambiguous"},
 		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
-			noise, err := taskNoise(opt)
-			if err != nil {
-				return nil, err
-			}
-			r, err := RunSeqPairAttackNoise(ctx, seed, true, noise)
+			r, err := RunAttack(ctx, transcript.Spec{
+				Attack: "seqpair", Seed: seed, Noise: opt.Noise, Expurgate: true,
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -170,7 +157,7 @@ func init() {
 				"recovered":        campaign.Bool(r.Recovered),
 				"up-to-complement": campaign.Bool(r.UpToComplement),
 				"ambiguous":        campaign.Bool(r.Ambiguous),
-				"key-bits":         float64(r.KeyBits),
+				"key-bits":         float64(r.EnrolledKeyBits),
 				"oracle-queries":   float64(r.Queries),
 			}, nil
 		},
@@ -179,11 +166,7 @@ func init() {
 	campaign.Register(campaign.Task{
 		Name: "tempco-attack", Desc: "§VI-B temperature-aware relation recovery", Figure: "§VI-B",
 		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
-			noise, err := taskNoise(opt)
-			if err != nil {
-				return nil, err
-			}
-			r, err := RunTempCoAttackNoise(ctx, seed, noise)
+			r, err := RunAttack(ctx, transcript.Spec{Attack: "tempco", Seed: seed, Noise: opt.Noise})
 			if err != nil {
 				return nil, err
 			}
