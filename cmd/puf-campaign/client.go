@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/campaignd"
+)
+
+// runRemote submits the spec to a puf-campaignd daemon, follows the
+// job's SSE progress stream (reconnecting if the daemon restarts
+// mid-sweep — the job resumes from its checkpoints), and returns the
+// daemon's final result. On context cancellation the remote job is
+// cancelled too, so Ctrl-C behaves like local mode.
+func runRemote(ctx context.Context, addr string, spec campaignd.Spec, verbose bool) (*campaign.Result, error) {
+	base := strings.TrimRight(addr, "/")
+	client := &http.Client{}
+
+	st, err := submit(ctx, client, base, spec)
+	if err != nil {
+		return nil, err
+	}
+	if verbose {
+		fmt.Printf("submitted job %s: %d shards of <=%d seeds\n", st.ID, st.ShardsTotal, st.Spec.ShardSize)
+	}
+
+	final, err := await(ctx, client, base, st.ID, verbose)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Best-effort remote cancel with a fresh context: ours is dead.
+			cancelCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			cancelJob(cancelCtx, client, base, st.ID)
+		}
+		return nil, err
+	}
+	if final.State != campaignd.StateDone {
+		msg := final.Error
+		if msg == "" {
+			msg = string(final.State)
+		}
+		return nil, fmt.Errorf("job %s: %s", st.ID, msg)
+	}
+	if final.Result == nil {
+		return nil, fmt.Errorf("job %s: done but the daemon returned no result", st.ID)
+	}
+	return final.Result, nil
+}
+
+// submit POSTs the spec and decodes the created job.
+func submit(ctx context.Context, client *http.Client, base string, spec campaignd.Spec) (*campaignd.JobStatus, error) {
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/campaigns", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("submit to %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, fmt.Errorf("submit to %s: %s: %s", base, resp.Status, apiError(resp.Body))
+	}
+	var st campaignd.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("submit to %s: decode: %w", base, err)
+	}
+	return &st, nil
+}
+
+// await follows the job until a terminal state, preferring the SSE
+// stream and falling back to (and retrying through) status polls when
+// the connection drops.
+func await(ctx context.Context, client *http.Client, base, id string, verbose bool) (*campaignd.JobStatus, error) {
+	for {
+		streamErr := follow(ctx, client, base, id, verbose)
+		st, err := getJob(ctx, client, base, id)
+		if err == nil && st.State != campaignd.StateRunning {
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if verbose && streamErr != nil {
+			fmt.Printf("stream interrupted (%v), reconnecting...\n", streamErr)
+		}
+		select {
+		case <-time.After(500 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// follow consumes one SSE connection until it ends. A clean "done"
+// event and a dropped connection both just return; the caller re-checks
+// job state either way.
+func follow(ctx context.Context, client *http.Client, base, id string, verbose bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/campaigns/"+id+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream: %s: %s", resp.Status, apiError(resp.Body))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<24)
+	var data strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		case line == "":
+			if data.Len() == 0 {
+				continue
+			}
+			var ev campaignd.Event
+			if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+				return fmt.Errorf("stream: decode event: %w", err)
+			}
+			data.Reset()
+			if verbose {
+				fmt.Printf("  shards %d/%d, seeds %d/%d (%s)\n",
+					ev.ShardsDone, ev.ShardsTotal, ev.SeedsDone, ev.SeedsTotal, ev.State)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// getJob fetches the detail view (final result included when done).
+func getJob(ctx context.Context, client *http.Client, base, id string) (*campaignd.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/campaigns/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("get job %s: %s: %s", id, resp.Status, apiError(resp.Body))
+	}
+	var st campaignd.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// cancelJob is the best-effort remote cancel behind Ctrl-C.
+func cancelJob(ctx context.Context, client *http.Client, base, id string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/campaigns/"+id+"/cancel", nil)
+	if err != nil {
+		return
+	}
+	if resp, err := client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// apiError extracts the {"error": ...} payload from a failed response.
+func apiError(r io.Reader) string {
+	blob, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(blob))
+}

@@ -1,0 +1,100 @@
+// Command puf-campaignd hosts the campaign service: a long-running
+// daemon that accepts campaign specs over HTTP/JSON, shards their seed
+// ranges over a bounded worker pool, checkpoints one JSONL record per
+// completed shard under -state, and streams partial aggregates over
+// server-sent events.
+//
+// On startup the daemon scans the state directory, reloads every
+// checkpointed job, and resumes the unfinished ones mid-sweep —
+// skipping already-checkpointed shards. Because every task instance
+// derives its randomness purely from (base seed, task index), a
+// resumed campaign's final aggregates are bit-identical to an
+// uninterrupted run at any worker count.
+//
+// Usage:
+//
+//	puf-campaignd -state /var/lib/campaignd
+//	puf-campaignd -addr :8787 -state ./state -shard-size 16
+//
+// API (see the README for schemas):
+//
+//	POST /v1/campaigns            submit {"task", "base_seed", "seeds", ...}
+//	GET  /v1/campaigns            list jobs
+//	GET  /v1/campaigns/{id}       job detail (final result when done)
+//	POST /v1/campaigns/{id}/cancel
+//	GET  /v1/campaigns/{id}/stream   SSE partial aggregates
+//	GET  /healthz                 liveness
+//	GET  /metrics                 Prometheus text format, per-job counters
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/campaignd"
+	_ "repro/internal/experiments" // registers every experiment task
+)
+
+func main() {
+	addr := flag.String("addr", ":8787", "listen address")
+	state := flag.String("state", "campaignd-state", "checkpoint state directory (created if missing)")
+	shardSize := flag.Int("shard-size", campaignd.DefaultShardSize, "default seeds per checkpointed shard for specs that omit shard_size")
+	throttle := flag.Duration("throttle", 0, "pause after each completed shard (rate limiting / testing; does not change results)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	mgr, err := campaignd.New(campaignd.Options{
+		StateDir:  *state,
+		ShardSize: *shardSize,
+		Throttle:  *throttle,
+		Logf:      logger.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "puf-campaignd:", err)
+		os.Exit(1)
+	}
+	if err := mgr.Recover(); err != nil {
+		fmt.Fprintln(os.Stderr, "puf-campaignd:", err)
+		os.Exit(1)
+	}
+
+	// Bind explicitly so "listening" is only logged once submissions
+	// can actually arrive (the e2e harness keys off this line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "puf-campaignd:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: campaignd.NewServer(mgr)}
+	logger.Printf("puf-campaignd: listening on %s (state %s)", ln.Addr(), *state)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "puf-campaignd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		logger.Printf("puf-campaignd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+		// Stop jobs WITHOUT recording terminal states: interrupted jobs
+		// resume from their checkpoints on the next start.
+		mgr.Close()
+	}
+}

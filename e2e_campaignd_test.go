@@ -1,0 +1,251 @@
+//go:build e2e
+
+package repro
+
+// End-to-end smoke of the campaign service's crash/resume contract,
+// exercised through the real binaries: start puf-campaignd against a
+// temp state directory, submit a campaign through puf-campaign -addr,
+// SIGKILL the daemon mid-run after at least one checkpointed shard,
+// restart it on the same state directory, and require that
+//
+//   - the client (which reconnects through the restart) exits 0 with a
+//     full result, and
+//   - that result is byte-identical to a local one-shot run of the same
+//     spec — and to one at a different worker count.
+//
+// Excluded from the default test run (build tag e2e) because it builds
+// binaries and kills processes; CI runs it as its own job:
+//
+//	go test -tags e2e -run TestE2ECampaignd -v .
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+const (
+	e2eTask    = "attack-success"
+	e2eSeeds   = 24
+	e2eBase    = 99
+	e2eWorkers = 2
+)
+
+func e2eSpecArgs() []string {
+	return []string{
+		"-task", e2eTask,
+		"-seeds", fmt.Sprint(e2eSeeds),
+		"-base", fmt.Sprint(e2eBase),
+		"-workers", fmt.Sprint(e2eWorkers),
+		"-json",
+	}
+}
+
+// buildBinaries compiles the daemon and CLI into dir.
+func buildBinaries(t *testing.T, dir string) (daemon, cli string) {
+	t.Helper()
+	daemon = filepath.Join(dir, "puf-campaignd")
+	cli = filepath.Join(dir, "puf-campaign")
+	for bin, pkg := range map[string]string{daemon: "./cmd/puf-campaignd", cli: "./cmd/puf-campaign"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return daemon, cli
+}
+
+// freeAddr reserves a localhost port and releases it for the daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startDaemon launches puf-campaignd and waits for /healthz.
+func startDaemon(t *testing.T, bin, addr, state string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-state", state, "-shard-size", "2", "-throttle", "250ms")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("daemon on %s never became healthy", addr)
+	panic("unreachable")
+}
+
+// jobProgress reads the single job's (state, shards done, shards total)
+// from the list endpoint.
+func jobProgress(t *testing.T, addr string) (state string, done, total int, ok bool) {
+	resp, err := http.Get("http://" + addr + "/v1/campaigns")
+	if err != nil {
+		return "", 0, 0, false
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Jobs []struct {
+			State       string `json:"state"`
+			ShardsDone  int    `json:"shards_done"`
+			ShardsTotal int    `json:"shards_total"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil || len(list.Jobs) != 1 {
+		return "", 0, 0, false
+	}
+	j := list.Jobs[0]
+	return j.State, j.ShardsDone, j.ShardsTotal, true
+}
+
+// runLocal executes the CLI in local mode and returns the parsed result.
+func runLocal(t *testing.T, cli string, workers int) *campaign.Result {
+	t.Helper()
+	args := []string{
+		"-task", e2eTask,
+		"-seeds", fmt.Sprint(e2eSeeds),
+		"-base", fmt.Sprint(e2eBase),
+		"-workers", fmt.Sprint(workers),
+		"-json",
+	}
+	out, err := exec.Command(cli, args...).Output()
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	var res campaign.Result
+	if err := json.Unmarshal(out, &res); err != nil {
+		t.Fatalf("local run: decode: %v", err)
+	}
+	return &res
+}
+
+func canonical(t *testing.T, res *campaign.Result) string {
+	t.Helper()
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+func TestE2ECampaignd(t *testing.T) {
+	dir := t.TempDir()
+	daemonBin, cli := buildBinaries(t, dir)
+	state := filepath.Join(dir, "state")
+	addr := freeAddr(t)
+
+	daemon1 := startDaemon(t, daemonBin, addr, state)
+
+	// Submit through the CLI client; it streams until the job is done,
+	// reconnecting through the daemon restart below.
+	clientOut := new(bytes.Buffer)
+	client := exec.Command(cli, append([]string{"-addr", "http://" + addr}, e2eSpecArgs()...)...)
+	client.Stdout = clientOut
+	client.Stderr = os.Stderr
+	if err := client.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clientDone := make(chan error, 1)
+	go func() { clientDone <- client.Wait() }()
+	t.Cleanup(func() {
+		if client.Process != nil {
+			client.Process.Kill()
+		}
+	})
+
+	// Wait until the job is provably mid-sweep: >= 1 checkpointed shard,
+	// not all. The daemon's -throttle 250ms paces 12 shards over ~1.5s
+	// on 2 workers, so this window is wide.
+	deadline := time.Now().Add(30 * time.Second)
+	var killedAt int
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached a mid-sweep checkpoint")
+		}
+		st, done, total, ok := jobProgress(t, addr)
+		if ok && st == "done" {
+			t.Fatal("job finished before the kill; raise -throttle")
+		}
+		if ok && done >= 1 && done < total {
+			killedAt = done
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Hard kill: no graceful shutdown, no terminal checkpoint record.
+	if err := daemon1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	daemon1.Wait()
+	t.Logf("daemon killed with %d shards checkpointed", killedAt)
+
+	// Restart on the same state directory; the job must resume from its
+	// checkpoints and the client must ride through.
+	startDaemon(t, daemonBin, addr, state)
+
+	select {
+	case err := <-clientDone:
+		if err != nil {
+			t.Fatalf("client failed across the restart: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("client did not complete after the daemon restart")
+	}
+	var resumed campaign.Result
+	if err := json.Unmarshal(clientOut.Bytes(), &resumed); err != nil {
+		t.Fatalf("client output: %v\n%s", err, clientOut.Bytes())
+	}
+
+	// The resumed result must be byte-identical to an uninterrupted
+	// local one-shot run of the same spec...
+	local := runLocal(t, cli, e2eWorkers)
+	if canonical(t, &resumed) != canonical(t, local) {
+		t.Fatalf("resumed daemon result differs from local one-shot run:\n%s\nvs\n%s",
+			canonical(t, &resumed), canonical(t, local))
+	}
+	// ...and, aggregates and outcomes, to a run at a different worker
+	// count (the Workers field itself legitimately differs).
+	other := runLocal(t, cli, e2eWorkers+3)
+	aggA, _ := json.Marshal(resumed.Aggregates)
+	aggB, _ := json.Marshal(other.Aggregates)
+	if !bytes.Equal(aggA, aggB) {
+		t.Fatalf("aggregates differ across worker counts:\n%s\nvs\n%s", aggA, aggB)
+	}
+	outA, _ := json.Marshal(resumed.Outcomes)
+	outB, _ := json.Marshal(other.Outcomes)
+	if !bytes.Equal(outA, outB) {
+		t.Fatal("outcomes differ across worker counts")
+	}
+}

@@ -77,6 +77,27 @@ type Spec struct {
 	Workers int
 	// Options is handed to every task instance verbatim.
 	Options Options
+	// Progress, when non-nil, is invoked once per completed task
+	// instance with the running totals and streaming partial
+	// aggregates. Calls are serialized (never concurrent) but arrive in
+	// completion order, not index order — the engine does not stall the
+	// pool to sort them. Both the daemon's SSE stream and puf-campaign's
+	// -v output hang off this one mechanism. The callback must not
+	// block for long: it executes on a worker goroutine.
+	Progress func(ProgressEvent) `json:"-"`
+}
+
+// ProgressEvent is one Spec.Progress notification.
+type ProgressEvent struct {
+	// Done and Total count completed vs requested task instances.
+	Done, Total int
+	// Outcome is the instance that just completed.
+	Outcome Outcome
+	// Aggregates are the streaming partial aggregates over every
+	// outcome completed so far (Wilson intervals computed at read
+	// time). They converge to — but mid-run need not bit-match — the
+	// final index-ordered aggregates.
+	Aggregates []Aggregate
 }
 
 // Outcome is one completed task instance.
@@ -226,11 +247,14 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("campaign: unknown task %q (have %s)", spec.Task, taskNames())
 	}
-	if spec.Seeds <= 0 {
-		spec.Seeds = 1
-	}
-	if spec.Workers <= 0 {
-		spec.Workers = runtime.GOMAXPROCS(0)
+	normalize(&spec)
+
+	var (
+		progressMu sync.Mutex
+		partial    *Partial
+	)
+	if spec.Progress != nil {
+		partial = NewPartial(task.Binary)
 	}
 
 	outcomes := make([]Outcome, spec.Seeds)
@@ -240,11 +264,58 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		if err != nil {
 			return fmt.Errorf("%s seed %#x: %w", task.Name, seed, err)
 		}
-		outcomes[i] = Outcome{Index: i, Seed: seed, Metrics: m}
+		o := Outcome{Index: i, Seed: seed, Metrics: m}
+		outcomes[i] = o
+		if spec.Progress != nil {
+			progressMu.Lock()
+			partial.Observe(o)
+			ev := ProgressEvent{
+				Done:       partial.Done(),
+				Total:      spec.Seeds,
+				Outcome:    o,
+				Aggregates: partial.Aggregates(),
+			}
+			spec.Progress(ev)
+			progressMu.Unlock()
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	return Finalize(spec, outcomes)
+}
+
+// normalize applies the Spec defaults Run and Finalize share.
+func normalize(spec *Spec) {
+	if spec.Seeds <= 0 {
+		spec.Seeds = 1
+	}
+	if spec.Workers <= 0 {
+		spec.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Finalize assembles a completed campaign's Result from its full
+// outcome list, exactly as Run would have: the per-metric aggregates
+// are computed in task-index order with the batch aggregate, so a
+// result finalized from sharded or checkpoint-restored outcomes is
+// bit-identical to an uninterrupted Run of the same spec. Outcomes must
+// be the complete list, indexed 0..len-1 (one per task instance, in
+// index order); len(outcomes) must match the normalized spec.Seeds.
+func Finalize(spec Spec, outcomes []Outcome) (*Result, error) {
+	task, ok := Lookup(spec.Task)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown task %q (have %s)", spec.Task, taskNames())
+	}
+	normalize(&spec)
+	if len(outcomes) != spec.Seeds {
+		return nil, fmt.Errorf("campaign: finalize %q with %d outcomes for %d seeds", spec.Task, len(outcomes), spec.Seeds)
+	}
+	for i, o := range outcomes {
+		if o.Index != i {
+			return nil, fmt.Errorf("campaign: finalize %q outcome %d carries index %d", spec.Task, i, o.Index)
+		}
 	}
 
 	binary := make(map[string]bool, len(task.Binary))

@@ -1,0 +1,142 @@
+package campaign
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Partial is a mergeable streaming aggregate over a subset of a
+// campaign's outcomes. It is the campaign-layer counterpart of
+// stats.Welford: each metric gets a Welford accumulator plus the
+// min/max and binary-success bookkeeping the batch aggregate tracks,
+// and Wilson intervals are computed at read time (Aggregates), never
+// stored — so partials combine associatively.
+//
+// Partials exist for streaming: the daemon folds each completed shard
+// into one and serves the running aggregates over SSE, and the CLI's
+// progress output reads the same numbers. They are deliberately NOT the
+// source of a campaign's final aggregates — those are recomputed by
+// Finalize over the full outcome list in task-index order, which is
+// what makes sharded, resumed, and one-shot runs bit-identical.
+//
+// Partial is not safe for concurrent use; callers serialize access.
+type Partial struct {
+	done    int
+	binary  map[string]bool
+	metrics map[string]*metricPartial
+}
+
+// metricPartial accumulates one metric.
+type metricPartial struct {
+	W         stats.Welford `json:"w"`
+	Min       float64       `json:"min"`
+	Max       float64       `json:"max"`
+	Successes int           `json:"successes"`
+	// Binary starts as the task's declaration and is demoted for good
+	// the first time a value outside {0, 1} is observed — mirroring the
+	// batch aggregate's rule.
+	Binary bool `json:"binary"`
+}
+
+// NewPartial returns an empty partial for a task whose declared binary
+// metrics are `binary` (the Task.Binary list).
+func NewPartial(binary []string) *Partial {
+	p := &Partial{
+		binary:  make(map[string]bool, len(binary)),
+		metrics: make(map[string]*metricPartial),
+	}
+	for _, name := range binary {
+		p.binary[name] = true
+	}
+	return p
+}
+
+// Done returns the number of outcomes observed (directly or via Merge).
+func (p *Partial) Done() int { return p.done }
+
+// Observe folds one completed outcome into the partial.
+func (p *Partial) Observe(o Outcome) {
+	p.done++
+	for name, v := range o.Metrics {
+		mp, ok := p.metrics[name]
+		if !ok {
+			mp = &metricPartial{Min: v, Max: v, Binary: p.binary[name]}
+			p.metrics[name] = mp
+		}
+		mp.W.Add(v)
+		if v < mp.Min {
+			mp.Min = v
+		}
+		if v > mp.Max {
+			mp.Max = v
+		}
+		switch v {
+		case 0:
+		case 1:
+			mp.Successes++
+		default:
+			mp.Binary = false
+		}
+	}
+}
+
+// Merge folds another partial into p, as if every outcome observed by q
+// had been observed by p. The two must come from the same task (same
+// binary declarations); merging is associative and commutative up to
+// floating-point rounding in the per-metric moments.
+func (p *Partial) Merge(q *Partial) {
+	if q == nil {
+		return
+	}
+	p.done += q.done
+	for name, qm := range q.metrics {
+		mp, ok := p.metrics[name]
+		if !ok {
+			cp := *qm
+			p.metrics[name] = &cp
+			continue
+		}
+		mp.W.Merge(qm.W)
+		if qm.Min < mp.Min {
+			mp.Min = qm.Min
+		}
+		if qm.Max > mp.Max {
+			mp.Max = qm.Max
+		}
+		mp.Successes += qm.Successes
+		mp.Binary = mp.Binary && qm.Binary
+	}
+}
+
+// Aggregates summarizes the observed outcomes in the same shape the
+// batch aggregate produces, computing Wilson intervals at read time.
+// Metric names are sorted, so the slice is a pure function of the
+// observed multiset.
+func (p *Partial) Aggregates() []Aggregate {
+	names := make([]string, 0, len(p.metrics))
+	for name := range p.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	aggs := make([]Aggregate, 0, len(names))
+	for _, name := range names {
+		mp := p.metrics[name]
+		a := Aggregate{
+			Metric: name,
+			N:      mp.W.N(),
+			Mean:   mp.W.Mean(),
+			Stddev: mp.W.Stddev(),
+			Min:    mp.Min,
+			Max:    mp.Max,
+			Binary: mp.Binary,
+		}
+		if a.Binary {
+			a.Successes = mp.Successes
+			a.WilsonLo, a.WilsonHi = stats.WilsonInterval(a.Successes, a.N, 0.95)
+		}
+		aggs = append(aggs, a)
+	}
+	return aggs
+}

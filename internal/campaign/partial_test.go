@@ -1,0 +1,189 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func runWalk(t *testing.T, spec Spec) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// aggregatesAlmostEqual compares streaming aggregates against batch
+// ones: everything integer-exact must match exactly; the floating-point
+// moments must agree to within rounding noise.
+func aggregatesAlmostEqual(t *testing.T, streaming, batch []Aggregate) {
+	t.Helper()
+	if len(streaming) != len(batch) {
+		t.Fatalf("aggregate count %d != %d", len(streaming), len(batch))
+	}
+	for i, s := range streaming {
+		b := batch[i]
+		if s.Metric != b.Metric || s.N != b.N || s.Binary != b.Binary ||
+			s.Min != b.Min || s.Max != b.Max || s.Successes != b.Successes ||
+			s.WilsonLo != b.WilsonLo || s.WilsonHi != b.WilsonHi {
+			t.Fatalf("aggregate %q: streaming %+v != batch %+v", s.Metric, s, b)
+		}
+		if math.Abs(s.Mean-b.Mean) > 1e-9*math.Max(1, math.Abs(b.Mean)) {
+			t.Fatalf("aggregate %q: mean %v != %v", s.Metric, s.Mean, b.Mean)
+		}
+		if math.Abs(s.Stddev-b.Stddev) > 1e-9*math.Max(1, b.Stddev) {
+			t.Fatalf("aggregate %q: stddev %v != %v", s.Metric, s.Stddev, b.Stddev)
+		}
+	}
+}
+
+// A partial fed every outcome sequentially in index order must
+// reproduce the batch aggregate exactly for everything except the
+// second moment (Welford vs two-pass), which agrees to rounding noise.
+// In particular Mean is bit-identical: both are sum/n over the same
+// addition order.
+func TestPartialSequentialMatchesBatchAggregate(t *testing.T) {
+	res := runWalk(t, Spec{Task: "test-walk", BaseSeed: 99, Seeds: 48, Workers: 4})
+	task, _ := Lookup("test-walk")
+
+	p := NewPartial(task.Binary)
+	for _, o := range res.Outcomes {
+		p.Observe(o)
+	}
+	if p.Done() != len(res.Outcomes) {
+		t.Fatalf("Done() = %d, want %d", p.Done(), len(res.Outcomes))
+	}
+	streaming := p.Aggregates()
+	aggregatesAlmostEqual(t, streaming, res.Aggregates)
+	for i, s := range streaming {
+		if s.Mean != res.Aggregates[i].Mean {
+			t.Fatalf("aggregate %q: sequential streaming mean %v not bit-identical to batch %v",
+				s.Metric, s.Mean, res.Aggregates[i].Mean)
+		}
+	}
+}
+
+// Merging per-shard partials — at several shard sizes, including the
+// daemon's out-of-order completion (simulated by merging shards in
+// reverse) — must agree with the batch aggregate.
+func TestPartialMergeMatchesBatchAggregate(t *testing.T) {
+	res := runWalk(t, Spec{Task: "test-walk", BaseSeed: 4711, Seeds: 50, Workers: 4})
+	task, _ := Lookup("test-walk")
+
+	for _, shard := range []int{1, 3, 16, 50} {
+		var parts []*Partial
+		for lo := 0; lo < len(res.Outcomes); lo += shard {
+			p := NewPartial(task.Binary)
+			for _, o := range res.Outcomes[lo:min(lo+shard, len(res.Outcomes))] {
+				p.Observe(o)
+			}
+			parts = append(parts, p)
+		}
+		// Merge in reverse completion order to model a racy pool.
+		merged := NewPartial(task.Binary)
+		for i := len(parts) - 1; i >= 0; i-- {
+			merged.Merge(parts[i])
+		}
+		if merged.Done() != len(res.Outcomes) {
+			t.Fatalf("shard=%d: Done() = %d", shard, merged.Done())
+		}
+		aggregatesAlmostEqual(t, merged.Aggregates(), res.Aggregates)
+	}
+}
+
+// The binary demotion rule must survive merging: a metric declared
+// binary but observed outside {0,1} in ONE shard is non-binary in the
+// merged whole, even when other shards saw only {0,1}.
+func TestPartialMergeDemotesBinary(t *testing.T) {
+	clean := NewPartial([]string{"m"})
+	clean.Observe(Outcome{Index: 0, Metrics: Metrics{"m": 1}})
+	dirty := NewPartial([]string{"m"})
+	dirty.Observe(Outcome{Index: 1, Metrics: Metrics{"m": 0.5}})
+
+	for _, order := range [][]*Partial{{clean, dirty}, {dirty, clean}} {
+		merged := NewPartial([]string{"m"})
+		merged.Merge(order[0])
+		merged.Merge(order[1])
+		aggs := merged.Aggregates()
+		if len(aggs) != 1 || aggs[0].Binary {
+			t.Fatalf("demotion lost in merge: %+v", aggs)
+		}
+		if aggs[0].Successes != 0 {
+			t.Fatalf("demoted metric kept successes: %+v", aggs[0])
+		}
+	}
+}
+
+// Spec.Progress must fire once per task instance, serialized, with
+// monotonically increasing Done and partial aggregates that end exactly
+// at the final streaming aggregate — at any worker count.
+func TestRunProgressCallback(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var (
+			mu     sync.Mutex
+			events []ProgressEvent
+		)
+		res := runWalk(t, Spec{
+			Task: "test-walk", BaseSeed: 5, Seeds: 32, Workers: workers,
+			Progress: func(ev ProgressEvent) {
+				mu.Lock()
+				events = append(events, ev)
+				mu.Unlock()
+			},
+		})
+		if len(events) != 32 {
+			t.Fatalf("workers=%d: %d progress events, want 32", workers, len(events))
+		}
+		seen := make(map[int]bool)
+		for i, ev := range events {
+			if ev.Done != i+1 || ev.Total != 32 {
+				t.Fatalf("workers=%d: event %d has Done=%d Total=%d", workers, i, ev.Done, ev.Total)
+			}
+			if seen[ev.Outcome.Index] {
+				t.Fatalf("workers=%d: outcome %d delivered twice", workers, ev.Outcome.Index)
+			}
+			seen[ev.Outcome.Index] = true
+		}
+		// The last event's streaming aggregates cover every outcome.
+		aggregatesAlmostEqual(t, events[len(events)-1].Aggregates, res.Aggregates)
+	}
+}
+
+// Finalize over the outcome list of a Run must reproduce the Run's
+// Result byte for byte — the identity that lets the daemon rebuild a
+// one-shot-identical result from checkpointed shards.
+func TestFinalizeReproducesRun(t *testing.T) {
+	spec := Spec{Task: "test-walk", BaseSeed: 2024, Seeds: 40, Workers: 4}
+	res := runWalk(t, spec)
+	re, err := Finalize(spec, res.Outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(res)
+	got, _ := json.Marshal(re)
+	if string(got) != string(want) {
+		t.Fatalf("Finalize result differs from Run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestFinalizeRejectsBadOutcomeLists(t *testing.T) {
+	spec := Spec{Task: "test-walk", BaseSeed: 1, Seeds: 4}
+	res := runWalk(t, Spec{Task: "test-walk", BaseSeed: 1, Seeds: 4})
+
+	if _, err := Finalize(spec, res.Outcomes[:3]); err == nil {
+		t.Fatal("expected error for truncated outcome list")
+	}
+	swapped := make([]Outcome, len(res.Outcomes))
+	copy(swapped, res.Outcomes)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if _, err := Finalize(spec, swapped); err == nil {
+		t.Fatal("expected error for out-of-order outcome list")
+	}
+	if _, err := Finalize(Spec{Task: "no-such-task"}, nil); err == nil {
+		t.Fatal("expected unknown-task error")
+	}
+}

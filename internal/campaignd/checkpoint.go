@@ -1,0 +1,236 @@
+package campaignd
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// The checkpoint store is one append-only JSONL file per job under the
+// daemon's state directory, named <job-id>.jsonl. Line one is a spec
+// record; each completed shard appends a shard record carrying the
+// shard's per-seed outcomes and a SHA-256 digest of their canonical
+// JSON; a terminal status record marks done/failed/cancelled jobs.
+//
+// Crash tolerance is structural, not transactional: records are written
+// as single lines and fsynced, so the only possible damage from a hard
+// kill is a truncated final line — which the loader treats as "this
+// shard never completed" and the scheduler simply re-runs. Determinism
+// (same (base seed, index) → same outcome) is what makes that re-run
+// safe: the rewritten record is byte-identical to the one that was
+// lost.
+
+const (
+	checkpointVersion = 1
+	checkpointExt     = ".jsonl"
+)
+
+// specRecord is the first line of every job file.
+type specRecord struct {
+	Type    string    `json:"type"` // "spec"
+	V       int       `json:"v"`
+	ID      string    `json:"id"`
+	Created time.Time `json:"created"`
+	Spec    Spec      `json:"spec"`
+}
+
+// shardRecord is one completed shard: outcomes for task indices
+// [From, To), plus their digest.
+type shardRecord struct {
+	Type     string             `json:"type"` // "shard"
+	Shard    int                `json:"shard"`
+	From     int                `json:"from"`
+	To       int                `json:"to"`
+	Outcomes []campaign.Outcome `json:"outcomes"`
+	Digest   string             `json:"digest"`
+}
+
+// statusRecord marks a terminal state.
+type statusRecord struct {
+	Type     string    `json:"type"` // "status"
+	State    State     `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Finished time.Time `json:"finished"`
+}
+
+// outcomesDigest is the integrity digest stored in (and checked
+// against) shard records: hex SHA-256 of the outcomes' JSON encoding.
+func outcomesDigest(outs []campaign.Outcome) (string, error) {
+	blob, err := json.Marshal(outs)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// checkpointFile is the append side of one job's JSONL state.
+type checkpointFile struct {
+	f *os.File
+}
+
+// createCheckpoint starts a new job file with its spec record.
+func createCheckpoint(dir, id string, created time.Time, spec Spec) (*checkpointFile, error) {
+	f, err := os.OpenFile(filepath.Join(dir, id+checkpointExt),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaignd: create checkpoint: %w", err)
+	}
+	ck := &checkpointFile{f: f}
+	if err := ck.append(specRecord{Type: "spec", V: checkpointVersion, ID: id, Created: created, Spec: spec}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return ck, nil
+}
+
+// openCheckpoint reopens an existing job file for appending (resume).
+func openCheckpoint(dir, id string) (*checkpointFile, error) {
+	f, err := os.OpenFile(filepath.Join(dir, id+checkpointExt),
+		os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaignd: open checkpoint: %w", err)
+	}
+	return &checkpointFile{f: f}, nil
+}
+
+// append writes one record as a single line and syncs it to disk.
+// Callers serialize (the job mutex); records therefore never interleave.
+func (c *checkpointFile) append(rec any) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaignd: marshal checkpoint record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := c.f.Write(line); err != nil {
+		return fmt.Errorf("campaignd: append checkpoint record: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("campaignd: sync checkpoint: %w", err)
+	}
+	return nil
+}
+
+// appendShard writes a shard record, computing the digest.
+func (c *checkpointFile) appendShard(shard, from, to int, outs []campaign.Outcome) (int, error) {
+	digest, err := outcomesDigest(outs)
+	if err != nil {
+		return 0, err
+	}
+	rec := shardRecord{Type: "shard", Shard: shard, From: from, To: to, Outcomes: outs, Digest: digest}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	line = append(line, '\n')
+	if _, err := c.f.Write(line); err != nil {
+		return 0, fmt.Errorf("campaignd: append shard record: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return 0, fmt.Errorf("campaignd: sync checkpoint: %w", err)
+	}
+	return len(line), nil
+}
+
+func (c *checkpointFile) Close() error { return c.f.Close() }
+
+// loadedJob is the replayed state of one job file.
+type loadedJob struct {
+	id      string
+	created time.Time
+	spec    Spec
+	// shards maps shard index → its checkpointed outcomes. Only records
+	// with a matching digest land here.
+	shards map[int][]campaign.Outcome
+	// state is the recorded terminal state, or "" when the job was
+	// interrupted (no status record) and must resume.
+	state    State
+	errMsg   string
+	finished *time.Time
+	// dropped counts malformed or digest-mismatched records that were
+	// ignored (their shards re-run).
+	dropped int
+}
+
+// loadCheckpoint replays one job file. A truncated or corrupt line
+// stops the replay at that point: everything before it is trusted
+// (digest-checked), everything after is treated as never-happened.
+func loadCheckpoint(path string) (*loadedJob, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	lj := &loadedJob{shards: make(map[int][]campaign.Outcome)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &head); err != nil {
+			// Truncated tail from a hard kill: stop trusting the file here.
+			lj.dropped++
+			break
+		}
+		switch head.Type {
+		case "spec":
+			var rec specRecord
+			if err := json.Unmarshal(line, &rec); err != nil || !first {
+				return nil, fmt.Errorf("campaignd: %s: bad spec record", path)
+			}
+			if rec.V != checkpointVersion {
+				return nil, fmt.Errorf("campaignd: %s: checkpoint version %d (want %d)", path, rec.V, checkpointVersion)
+			}
+			lj.id, lj.created, lj.spec = rec.ID, rec.Created, rec.Spec
+		case "shard":
+			var rec shardRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				lj.dropped++
+				continue
+			}
+			digest, err := outcomesDigest(rec.Outcomes)
+			if err != nil || digest != rec.Digest || len(rec.Outcomes) != rec.To-rec.From {
+				lj.dropped++
+				continue
+			}
+			lj.shards[rec.Shard] = rec.Outcomes
+		case "status":
+			var rec statusRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				lj.dropped++
+				continue
+			}
+			lj.state, lj.errMsg = rec.State, rec.Error
+			fin := rec.Finished
+			lj.finished = &fin
+		default:
+			lj.dropped++
+		}
+		first = false
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaignd: %s: %w", path, err)
+	}
+	if lj.id == "" {
+		return nil, fmt.Errorf("campaignd: %s: no spec record", path)
+	}
+	if want := strings.TrimSuffix(filepath.Base(path), checkpointExt); want != lj.id {
+		return nil, fmt.Errorf("campaignd: %s: spec record names job %q", path, lj.id)
+	}
+	return lj, nil
+}

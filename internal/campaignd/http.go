@@ -1,0 +1,153 @@
+package campaignd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Server exposes a Manager over HTTP/JSON:
+//
+//	POST /v1/campaigns           submit a Spec               → 201 JobStatus
+//	GET  /v1/campaigns           list jobs                   → {"jobs": [JobStatus]}
+//	GET  /v1/campaigns/{id}      job detail (Result if done) → JobStatus
+//	POST /v1/campaigns/{id}/cancel                           → JobStatus
+//	GET  /v1/campaigns/{id}/stream   server-sent events, one Event per
+//	                                 completed shard, terminal event last
+//	GET  /healthz                liveness                    → "ok"
+//	GET  /metrics                Prometheus text exposition
+//
+// Errors are {"error": "..."} with a 4xx/5xx status.
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wraps a Manager in the HTTP API.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /v1/campaigns/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.m.counters.httpRequests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleSubmit accepts a campaign Spec. Malformed JSON, unknown fields,
+// and invalid specs are all 400s: the daemon never creates state for a
+// request it cannot execute.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaignd: bad spec: %w", err))
+		return
+	}
+	st, err := s.m.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]JobStatus{"jobs": s.m.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.m.Get(id, true)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("campaignd: no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.m.Get(id, false); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("campaignd: no job %q", id))
+		return
+	}
+	st, err := s.m.Cancel(id)
+	if err != nil {
+		// The job exists but is already terminal.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStream serves server-sent events: an immediate snapshot, one
+// event per completed shard while the job runs, and a final event
+// carrying the terminal state. Event payloads are Event JSON in the SSE
+// data field with event type "progress" or "done".
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events, release, err := s.m.Subscribe(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	defer release()
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("campaignd: response writer cannot stream"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			kind := "progress"
+			if ev.State.terminal() {
+				kind = "done"
+			}
+			blob, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", kind, blob)
+			flusher.Flush()
+		}
+	}
+}

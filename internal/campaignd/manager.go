@@ -1,0 +1,590 @@
+package campaignd
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/rng"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// StateDir is the checkpoint directory (required). It is created if
+	// missing.
+	StateDir string
+	// ShardSize is the default seeds-per-shard for specs that omit it
+	// (0 = 8).
+	ShardSize int
+	// Throttle, when > 0, sleeps after each completed shard. It exists
+	// for operational rate-limiting and for tests that must observe a
+	// job mid-sweep; it has no effect on results.
+	Throttle time.Duration
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// DefaultShardSize is the seeds-per-shard used when neither the spec
+// nor the daemon names one.
+const DefaultShardSize = 8
+
+// Manager owns the job table, the per-job shard schedulers, and the
+// checkpoint store. All exported methods are safe for concurrent use.
+type Manager struct {
+	opts   Options
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu   sync.Mutex
+	jobs map[string]*job
+
+	counters counters
+}
+
+// job is one campaign under management. Fields past mu are guarded by
+// it; the scheduler holds it only for bookkeeping, never while running
+// task instances.
+type job struct {
+	id      string
+	created time.Time
+	spec    Spec // normalized: ShardSize > 0
+	task    campaign.Task
+
+	mu         sync.Mutex
+	state      State
+	errMsg     string
+	finished   *time.Time
+	shards     int
+	done       []bool
+	doneShards int
+	seedsDone  int
+	outcomes   []campaign.Outcome
+	partial    *campaign.Partial
+	result     *campaign.Result
+	cancelled  bool
+	cancel     context.CancelFunc
+	ckpt       *checkpointFile
+	subs       map[int]chan Event
+	nextSub    int
+}
+
+// New builds a Manager over a state directory. Call Recover to reload
+// and resume checkpointed jobs, and Close to stop.
+func New(opts Options) (*Manager, error) {
+	if opts.StateDir == "" {
+		return nil, fmt.Errorf("campaignd: Options.StateDir is required")
+	}
+	if opts.ShardSize <= 0 {
+		opts.ShardSize = DefaultShardSize
+	}
+	if err := os.MkdirAll(opts.StateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaignd: state dir: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		opts:   opts,
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   make(map[string]*job),
+	}, nil
+}
+
+// Close stops every running job (without recording a terminal state, so
+// they resume on the next Recover) and waits for the schedulers to
+// drain.
+func (m *Manager) Close() {
+	m.cancel()
+	m.wg.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.ckpt != nil {
+			j.ckpt.Close()
+			j.ckpt = nil
+		}
+		j.mu.Unlock()
+	}
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.opts.Logf != nil {
+		m.opts.Logf(format, args...)
+	}
+}
+
+// newJobID returns a fresh random job identifier.
+func newJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("campaignd: rand: %v", err))
+	}
+	return "c" + hex.EncodeToString(b[:])
+}
+
+// numShards is the shard count for a normalized spec.
+func numShards(seeds, shardSize int) int {
+	return (seeds + shardSize - 1) / shardSize
+}
+
+// shardBounds returns the task-index range [from, to) of shard s.
+func shardBounds(s, seeds, shardSize int) (from, to int) {
+	from = s * shardSize
+	to = min(from+shardSize, seeds)
+	return from, to
+}
+
+// Submit validates a spec, creates its checkpoint file, and starts the
+// job. The returned status is the job's initial snapshot.
+func (m *Manager) Submit(spec Spec) (JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	if spec.ShardSize == 0 {
+		spec.ShardSize = m.opts.ShardSize
+	}
+	task, _ := campaign.Lookup(spec.Task)
+
+	if m.ctx.Err() != nil {
+		return JobStatus{}, fmt.Errorf("campaignd: manager is shut down")
+	}
+	id := newJobID()
+	created := time.Now().UTC().Truncate(time.Millisecond)
+	ckpt, err := createCheckpoint(m.opts.StateDir, id, created, spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	j := m.newJob(id, created, spec, task)
+	j.ckpt = ckpt
+
+	m.mu.Lock()
+	m.jobs[id] = j
+	m.mu.Unlock()
+	m.counters.jobsSubmitted.Add(1)
+	m.logf("campaignd: job %s submitted: task=%s seeds=%d shard=%d workers=%d",
+		id, spec.Task, spec.Seeds, spec.ShardSize, spec.Workers)
+
+	m.start(j)
+	return j.status(false), nil
+}
+
+// newJob builds the in-memory job shell (no scheduler yet).
+func (m *Manager) newJob(id string, created time.Time, spec Spec, task campaign.Task) *job {
+	shards := numShards(spec.Seeds, spec.ShardSize)
+	return &job{
+		id:       id,
+		created:  created,
+		spec:     spec,
+		task:     task,
+		state:    StateRunning,
+		shards:   shards,
+		done:     make([]bool, shards),
+		outcomes: make([]campaign.Outcome, spec.Seeds),
+		partial:  campaign.NewPartial(task.Binary),
+		subs:     make(map[int]chan Event),
+	}
+}
+
+// Recover scans the state directory, reloads every checkpointed job,
+// and resumes the unfinished ones — skipping checkpointed shards, so a
+// daemon killed mid-sweep picks up exactly where the last fsynced
+// record left off.
+func (m *Manager) Recover() error {
+	entries, err := os.ReadDir(m.opts.StateDir)
+	if err != nil {
+		return fmt.Errorf("campaignd: scan state dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), checkpointExt) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(m.opts.StateDir, name)
+		lj, err := loadCheckpoint(path)
+		if err != nil {
+			m.logf("campaignd: skipping %s: %v", name, err)
+			continue
+		}
+		if err := m.adopt(lj); err != nil {
+			m.logf("campaignd: skipping %s: %v", name, err)
+		}
+	}
+	return nil
+}
+
+// adopt installs one replayed job and resumes it if unfinished.
+func (m *Manager) adopt(lj *loadedJob) error {
+	if err := lj.spec.Validate(); err != nil {
+		return err
+	}
+	if lj.spec.ShardSize == 0 {
+		// Pre-normalization record; shard layout must match what the
+		// original run used, so refuse rather than guess.
+		return fmt.Errorf("campaignd: job %s has no shard size", lj.id)
+	}
+	task, _ := campaign.Lookup(lj.spec.Task)
+	j := m.newJob(lj.id, lj.created, lj.spec, task)
+	if lj.dropped > 0 {
+		m.logf("campaignd: job %s: ignored %d corrupt checkpoint record(s)", lj.id, lj.dropped)
+	}
+
+	// Replay checkpointed shards in shard order.
+	for s := 0; s < j.shards; s++ {
+		outs, ok := lj.shards[s]
+		if !ok {
+			continue
+		}
+		from, to := shardBounds(s, j.spec.Seeds, j.spec.ShardSize)
+		if len(outs) != to-from || outs[0].Index != from {
+			m.logf("campaignd: job %s: shard %d bounds mismatch, re-running", lj.id, s)
+			continue
+		}
+		j.done[s] = true
+		j.doneShards++
+		j.seedsDone += len(outs)
+		copy(j.outcomes[from:to], outs)
+		for _, o := range outs {
+			j.partial.Observe(o)
+		}
+	}
+
+	switch {
+	case lj.state == StateDone || (lj.state == "" && j.doneShards == j.shards):
+		// Completed (or crashed after the last shard record): rebuild
+		// the final result; no scheduler needed.
+		res, err := campaign.Finalize(j.spec.campaignSpec(), j.outcomes)
+		if err != nil {
+			return fmt.Errorf("campaignd: job %s: finalize: %w", lj.id, err)
+		}
+		j.state, j.result, j.finished = StateDone, res, lj.finished
+		m.install(j)
+		m.counters.jobsRecovered.Add(1)
+		m.logf("campaignd: job %s recovered complete (%d shards)", j.id, j.shards)
+	case lj.state.terminal():
+		j.state, j.errMsg, j.finished = lj.state, lj.errMsg, lj.finished
+		m.install(j)
+		m.counters.jobsRecovered.Add(1)
+		m.logf("campaignd: job %s recovered %s", j.id, j.state)
+	default:
+		// Interrupted mid-sweep: reopen the file and resume.
+		ckpt, err := openCheckpoint(m.opts.StateDir, j.id)
+		if err != nil {
+			return err
+		}
+		j.ckpt = ckpt
+		m.install(j)
+		m.counters.jobsRecovered.Add(1)
+		m.counters.jobsResumed.Add(1)
+		m.logf("campaignd: job %s resuming: %d/%d shards checkpointed", j.id, j.doneShards, j.shards)
+		m.start(j)
+	}
+	return nil
+}
+
+func (m *Manager) install(j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[j.id] = j
+}
+
+// start launches the shard scheduler for a job.
+func (m *Manager) start(j *job) {
+	ctx, cancel := context.WithCancel(m.ctx)
+	j.mu.Lock()
+	j.cancel = cancel
+	pending := make([]int, 0, j.shards-j.doneShards)
+	for s, d := range j.done {
+		if !d {
+			pending = append(pending, s)
+		}
+	}
+	j.mu.Unlock()
+
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer cancel()
+		err := campaign.ForEach(ctx, len(pending), j.spec.Workers, func(shardCtx context.Context, k int) error {
+			s := pending[k]
+			outs, err := m.runShard(shardCtx, j, s)
+			if err != nil {
+				return err
+			}
+			if err := m.completeShard(j, s, outs); err != nil {
+				return err
+			}
+			if m.opts.Throttle > 0 {
+				select {
+				case <-time.After(m.opts.Throttle):
+				case <-shardCtx.Done():
+				}
+			}
+			return nil
+		})
+		m.finish(j, err)
+	}()
+}
+
+// runShard executes one shard's task instances sequentially. Each
+// instance's seed depends only on (base seed, task index), so the
+// result is independent of scheduling.
+func (m *Manager) runShard(ctx context.Context, j *job, s int) ([]campaign.Outcome, error) {
+	from, to := shardBounds(s, j.spec.Seeds, j.spec.ShardSize)
+	outs := make([]campaign.Outcome, 0, to-from)
+	opts := campaign.Options{Noise: j.spec.Noise}
+	for i := from; i < to; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		seed := rng.StreamSeed(j.spec.BaseSeed, uint64(i))
+		metrics, err := j.task.Run(ctx, seed, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s seed %#x: %w", j.task.Name, seed, err)
+		}
+		outs = append(outs, campaign.Outcome{Index: i, Seed: seed, Metrics: metrics})
+	}
+	return outs, nil
+}
+
+// completeShard checkpoints a finished shard, folds it into the
+// streaming partial, and notifies subscribers.
+func (m *Manager) completeShard(j *job, s int, outs []campaign.Outcome) error {
+	from, to := shardBounds(s, j.spec.Seeds, j.spec.ShardSize)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.ckpt == nil {
+		return fmt.Errorf("campaignd: job %s checkpoint closed", j.id)
+	}
+	n, err := j.ckpt.appendShard(s, from, to, outs)
+	if err != nil {
+		return err
+	}
+	j.done[s] = true
+	j.doneShards++
+	j.seedsDone += len(outs)
+	copy(j.outcomes[from:to], outs)
+	for _, o := range outs {
+		j.partial.Observe(o)
+	}
+	m.counters.shardsCompleted.Add(1)
+	m.counters.seedsCompleted.Add(int64(len(outs)))
+	m.counters.checkpointBytes.Add(int64(n))
+	j.broadcastLocked()
+	return nil
+}
+
+// finish records a job's terminal state — or, when the manager itself
+// is shutting down, leaves the job resumable and records nothing.
+func (m *Manager) finish(j *job, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+
+	switch {
+	case err == nil:
+		res, ferr := campaign.Finalize(j.spec.campaignSpec(), j.outcomes)
+		if ferr != nil {
+			j.state, j.errMsg = StateFailed, ferr.Error()
+		} else {
+			j.state, j.result = StateDone, res
+		}
+	case j.cancelled:
+		j.state = StateCancelled
+	case m.ctx.Err() != nil:
+		// Daemon shutdown: no terminal record; Recover resumes this job.
+		if j.ckpt != nil {
+			j.ckpt.Close()
+			j.ckpt = nil
+		}
+		j.closeSubsLocked()
+		return
+	default:
+		j.state, j.errMsg = StateFailed, err.Error()
+	}
+
+	now := time.Now().UTC().Truncate(time.Millisecond)
+	j.finished = &now
+	if j.ckpt != nil {
+		rec := statusRecord{Type: "status", State: j.state, Error: j.errMsg, Finished: now}
+		if werr := j.ckpt.append(rec); werr != nil {
+			m.logf("campaignd: job %s: status record: %v", j.id, werr)
+		}
+		j.ckpt.Close()
+		j.ckpt = nil
+	}
+	m.logf("campaignd: job %s %s (%d/%d shards)", j.id, j.state, j.doneShards, j.shards)
+	j.broadcastLocked()
+	j.closeSubsLocked()
+}
+
+// Get returns one job's status; detail includes the final Result for
+// done jobs.
+func (m *Manager) Get(id string, detail bool) (JobStatus, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(detail), true
+}
+
+// List returns every job's summary status, newest first.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status(false))
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].Created.Equal(out[k].Created) {
+			return out[i].Created.After(out[k].Created)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// Cancel stops a running job. The already-checkpointed shards stay on
+// disk, but the job is terminal and will not be resumed.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("campaignd: no job %q", id)
+	}
+	j.mu.Lock()
+	if j.state.terminal() {
+		st := j.state
+		j.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("campaignd: job %s is already %s", id, st)
+	}
+	j.cancelled = true
+	j.state = StateCancelled
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	st, _ := m.Get(id, false)
+	return st, nil
+}
+
+// Subscribe returns a channel of progress events for a job, starting
+// with an immediate snapshot. The channel closes after the terminal
+// event (immediately, for already-terminal jobs). The returned cancel
+// func releases the subscription.
+func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("campaignd: no job %q", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan Event, 16)
+	ch <- j.eventLocked()
+	if j.state.terminal() || j.subs == nil {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	idx := j.nextSub
+	j.nextSub++
+	j.subs[idx] = ch
+	cancel := func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, live := j.subs[idx]; live {
+			delete(j.subs, idx)
+			close(ch)
+		}
+	}
+	return ch, cancel, nil
+}
+
+// eventLocked snapshots the job as an Event. Callers hold j.mu.
+func (j *job) eventLocked() Event {
+	return Event{
+		JobID:       j.id,
+		State:       j.state,
+		ShardsDone:  j.doneShards,
+		ShardsTotal: j.shards,
+		SeedsDone:   j.seedsDone,
+		SeedsTotal:  j.spec.Seeds,
+		Aggregates:  j.partial.Aggregates(),
+		Error:       j.errMsg,
+	}
+}
+
+// broadcastLocked pushes the current snapshot to every subscriber,
+// dropping the oldest queued event when a subscriber lags — progress
+// events are cumulative snapshots, so the latest always supersedes.
+func (j *job) broadcastLocked() {
+	ev := j.eventLocked()
+	for _, ch := range j.subs {
+		for {
+			select {
+			case ch <- ev:
+			default:
+				select {
+				case <-ch:
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// closeSubsLocked closes every subscription after a terminal event.
+func (j *job) closeSubsLocked() {
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+}
+
+// status snapshots the job for the API.
+func (j *job) status(detail bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Spec:        j.spec,
+		Created:     j.created,
+		Finished:    j.finished,
+		ShardsDone:  j.doneShards,
+		ShardsTotal: j.shards,
+		SeedsDone:   j.seedsDone,
+		SeedsTotal:  j.spec.Seeds,
+		Error:       j.errMsg,
+	}
+	if j.state == StateDone {
+		if detail {
+			st.Result = j.result
+		}
+	} else {
+		st.Aggregates = j.partial.Aggregates()
+	}
+	return st
+}

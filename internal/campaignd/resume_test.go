@@ -1,0 +1,266 @@
+package campaignd
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func resultJSON(t *testing.T, res *campaign.Result) string {
+	t.Helper()
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// The acceptance criterion of the subsystem: run a campaign, hard-stop
+// the job manager mid-sweep after at least one checkpointed shard,
+// restart a fresh manager over the same state directory, and the
+// resumed job's final Result must be byte-identical (JSON) to an
+// uninterrupted one-shot campaign.Run of the same spec — at two
+// different worker counts.
+func TestCrashResumeBitIdentical(t *testing.T) {
+	for _, workers := range []int{2, 5} {
+		spec := Spec{Task: "campaignd-test-walk", BaseSeed: 40, Seeds: 30, Workers: workers}
+		oneShot, err := campaign.Run(context.Background(), spec.campaignSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := resultJSON(t, oneShot)
+
+		dir := t.TempDir()
+		m1 := newTestManager(t, Options{StateDir: dir, ShardSize: 2, Throttle: 10 * time.Millisecond})
+		st, err := m1.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Hard-stop after >= 2 checkpointed shards but before the end.
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			cur, _ := m1.Get(st.ID, false)
+			if cur.ShardsDone >= 2 {
+				break
+			}
+			if cur.State != StateRunning || time.Now().After(deadline) {
+				t.Fatalf("workers=%d: job reached %s with %d shards before the kill", workers, cur.State, cur.ShardsDone)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		m1.Close()
+		interrupted, _ := m1.Get(st.ID, false)
+		if interrupted.ShardsDone >= interrupted.ShardsTotal {
+			t.Fatalf("workers=%d: job finished before the kill; nothing to resume", workers)
+		}
+		t.Logf("workers=%d: killed with %d/%d shards checkpointed", workers, interrupted.ShardsDone, interrupted.ShardsTotal)
+
+		// Restart: the job must be picked up and resumed automatically.
+		m2 := newTestManager(t, Options{StateDir: dir, ShardSize: 2})
+		if err := m2.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		final := waitTerminal(t, m2, st.ID)
+		if final.State != StateDone {
+			t.Fatalf("workers=%d: resumed job ended %s (%s)", workers, final.State, final.Error)
+		}
+		if got := resultJSON(t, final.Result); got != want {
+			t.Fatalf("workers=%d: resumed result differs from uninterrupted run:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// A second kill/restart cycle must also converge — resume is not a
+// one-shot affair.
+func TestDoubleCrashResume(t *testing.T) {
+	spec := Spec{Task: "campaignd-test-walk", BaseSeed: 123, Seeds: 24, Workers: 2}
+	oneShot, err := campaign.Run(context.Background(), spec.campaignSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultJSON(t, oneShot)
+
+	dir := t.TempDir()
+	m := newTestManager(t, Options{StateDir: dir, ShardSize: 1, Throttle: 10 * time.Millisecond})
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.ID
+	for cycle := 0; cycle < 2; cycle++ {
+		target := 3 * (cycle + 1)
+		for {
+			cur, _ := m.Get(id, false)
+			if cur.ShardsDone >= target || cur.State != StateRunning {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		m.Close()
+		m = newTestManager(t, Options{StateDir: dir, ShardSize: 1, Throttle: 10 * time.Millisecond})
+		if err := m.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.Get(id, false); !ok {
+			t.Fatalf("cycle %d: job lost across restart", cycle)
+		}
+	}
+	// Let the final incarnation run to completion at full speed.
+	final := waitTerminal(t, m, id)
+	if final.State != StateDone {
+		t.Fatalf("state %s (%s)", final.State, final.Error)
+	}
+	if got := resultJSON(t, final.Result); got != want {
+		t.Fatalf("double-resumed result differs from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// A checkpoint file with a truncated final line (the signature of a
+// hard kill mid-append) must load: intact shards are trusted, the torn
+// record is re-run.
+func TestRecoverToleratesTruncatedTail(t *testing.T) {
+	spec := Spec{Task: "campaignd-test-walk", BaseSeed: 314, Seeds: 12, Workers: 2}
+	oneShot, err := campaign.Run(context.Background(), spec.campaignSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultJSON(t, oneShot)
+
+	// Produce a complete state dir, then mutilate the file: drop the
+	// done record and tear the last shard record in half.
+	dir := t.TempDir()
+	m1 := newTestManager(t, Options{StateDir: dir, ShardSize: 3})
+	st, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m1, st.ID)
+	m1.Close()
+
+	path := filepath.Join(dir, st.ID+checkpointExt)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(blob), "\n"), "\n")
+	if len(lines) != 1+4+1 { // spec + 4 shards + status
+		t.Fatalf("unexpected checkpoint shape: %d lines", len(lines))
+	}
+	torn := strings.Join(lines[:4], "\n") + "\n" + lines[4][:len(lines[4])/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newTestManager(t, Options{StateDir: dir})
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m2, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("state %s (%s)", final.State, final.Error)
+	}
+	if got := resultJSON(t, final.Result); got != want {
+		t.Fatalf("result after torn-tail recovery differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// A tampered shard record (digest mismatch) is discarded and re-run
+// rather than trusted.
+func TestRecoverRejectsDigestMismatch(t *testing.T) {
+	spec := Spec{Task: "campaignd-test-walk", BaseSeed: 99, Seeds: 8, Workers: 1}
+	dir := t.TempDir()
+	m1 := newTestManager(t, Options{StateDir: dir, ShardSize: 2})
+	st, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m1, st.ID)
+	m1.Close()
+
+	path := filepath.Join(dir, st.ID+checkpointExt)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a metric digit inside the first shard record and drop the
+	// status record so the job resumes.
+	lines := strings.Split(strings.TrimRight(string(blob), "\n"), "\n")
+	tampered := strings.Replace(lines[1], `"walk-sum":`, `"walk-sum":1`, 1)
+	if tampered == lines[1] {
+		t.Fatal("tamper target not found in shard record")
+	}
+	out := strings.Join(append([]string{lines[0], tampered}, lines[2:len(lines)-1]...), "\n") + "\n"
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	lj, err := loadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lj.dropped == 0 {
+		t.Fatal("tampered record was not dropped")
+	}
+	if _, ok := lj.shards[0]; ok {
+		t.Fatal("tampered shard 0 was trusted")
+	}
+
+	// Full recovery still converges to the uninterrupted result.
+	oneShot, err := campaign.Run(context.Background(), spec.campaignSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newTestManager(t, Options{StateDir: dir})
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m2, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("state %s (%s)", final.State, final.Error)
+	}
+	if got, want := resultJSON(t, final.Result), resultJSON(t, oneShot); got != want {
+		t.Fatalf("result after digest-mismatch recovery differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// Recover must rebuild completed jobs (result included) without
+// re-running anything, and ignore files that are not checkpoints.
+func TestRecoverCompletedJob(t *testing.T) {
+	spec := Spec{Task: "campaignd-test-walk", BaseSeed: 7, Seeds: 10, Workers: 2}
+	dir := t.TempDir()
+	m1 := newTestManager(t, Options{StateDir: dir, ShardSize: 4})
+	st, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultJSON(t, waitTerminal(t, m1, st.ID).Result)
+	m1.Close()
+
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.jsonl"), []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newTestManager(t, Options{StateDir: dir})
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m2.Get(st.ID, true)
+	if !ok || got.State != StateDone {
+		t.Fatalf("completed job not recovered: ok=%v %+v", ok, got)
+	}
+	if resultJSON(t, got.Result) != want {
+		t.Fatal("recovered result differs from original")
+	}
+	if jobs := m2.List(); len(jobs) != 1 {
+		t.Fatalf("junk files became jobs: %+v", jobs)
+	}
+}
