@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -15,6 +16,57 @@ import (
 	"repro/internal/campaignd"
 )
 
+// httpError is a non-2xx daemon answer, carrying the status code so the
+// retry policy can classify it.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// transient reports whether an error is worth retrying: connection-level
+// failures (daemon restarting, listener not up yet) and the 5xx family —
+// notably 503 from a draining daemon — are; 4xx answers and our own
+// context cancellation are not.
+func transient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.code >= 500 || he.code == http.StatusTooManyRequests
+	}
+	return true
+}
+
+// withRetry runs op, retrying transient failures with capped exponential
+// backoff (250ms doubling to 4s, 8 attempts ≈ 16s of patience — enough
+// to ride out a daemon restart). Permanent errors and context
+// cancellation return immediately.
+func withRetry(ctx context.Context, verbose bool, what string, op func() error) error {
+	const (
+		attempts   = 8
+		maxBackoff = 4 * time.Second
+	)
+	backoff := 250 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil || !transient(err) || attempt == attempts {
+			return err
+		}
+		if verbose {
+			fmt.Printf("%s failed (%v); retry %d/%d in %s\n", what, err, attempt, attempts-1, backoff)
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		backoff = min(backoff*2, maxBackoff)
+	}
+}
+
 // runRemote submits the spec to a puf-campaignd daemon, follows the
 // job's SSE progress stream (reconnecting if the daemon restarts
 // mid-sweep — the job resumes from its checkpoints), and returns the
@@ -24,7 +76,7 @@ func runRemote(ctx context.Context, addr string, spec campaignd.Spec, verbose bo
 	base := strings.TrimRight(addr, "/")
 	client := &http.Client{}
 
-	st, err := submit(ctx, client, base, spec)
+	st, err := submit(ctx, client, base, spec, verbose)
 	if err != nil {
 		return nil, err
 	}
@@ -55,8 +107,20 @@ func runRemote(ctx context.Context, addr string, spec campaignd.Spec, verbose bo
 	return final.Result, nil
 }
 
-// submit POSTs the spec and decodes the created job.
-func submit(ctx context.Context, client *http.Client, base string, spec campaignd.Spec) (*campaignd.JobStatus, error) {
+// submit POSTs the spec, riding out transient failures — a connection
+// refused during a daemon restart, a 503 from a draining instance —
+// with capped backoff. Invalid specs (4xx) fail immediately.
+func submit(ctx context.Context, client *http.Client, base string, spec campaignd.Spec, verbose bool) (*campaignd.JobStatus, error) {
+	var st *campaignd.JobStatus
+	err := withRetry(ctx, verbose, "submit", func() error {
+		var err error
+		st, err = submitOnce(ctx, client, base, spec)
+		return err
+	})
+	return st, err
+}
+
+func submitOnce(ctx context.Context, client *http.Client, base string, spec campaignd.Spec) (*campaignd.JobStatus, error) {
 	blob, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
@@ -72,7 +136,8 @@ func submit(ctx context.Context, client *http.Client, base string, spec campaign
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
-		return nil, fmt.Errorf("submit to %s: %s: %s", base, resp.Status, apiError(resp.Body))
+		return nil, &httpError{code: resp.StatusCode,
+			msg: fmt.Sprintf("submit to %s: %s: %s", base, resp.Status, apiError(resp.Body))}
 	}
 	var st campaignd.JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
@@ -82,17 +147,27 @@ func submit(ctx context.Context, client *http.Client, base string, spec campaign
 }
 
 // await follows the job until a terminal state, preferring the SSE
-// stream and falling back to (and retrying through) status polls when
-// the connection drops.
+// stream and falling back to status polls when the connection drops.
+// Poll failures retry with the same capped backoff as submit; a
+// permanent answer (e.g. 404 after a wiped state dir) aborts rather
+// than polling forever.
 func await(ctx context.Context, client *http.Client, base, id string, verbose bool) (*campaignd.JobStatus, error) {
 	for {
 		streamErr := follow(ctx, client, base, id, verbose)
-		st, err := getJob(ctx, client, base, id)
-		if err == nil && st.State != campaignd.StateRunning {
-			return st, nil
+		var st *campaignd.JobStatus
+		err := withRetry(ctx, verbose, "poll", func() error {
+			var err error
+			st, err = getJob(ctx, client, base, id)
+			return err
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, err
 		}
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
+		if st.State != campaignd.StateRunning {
+			return st, nil
 		}
 		if verbose && streamErr != nil {
 			fmt.Printf("stream interrupted (%v), reconnecting...\n", streamErr)
@@ -161,7 +236,8 @@ func getJob(ctx context.Context, client *http.Client, base, id string) (*campaig
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("get job %s: %s: %s", id, resp.Status, apiError(resp.Body))
+		return nil, &httpError{code: resp.StatusCode,
+			msg: fmt.Sprintf("get job %s: %s: %s", id, resp.Status, apiError(resp.Body))}
 	}
 	var st campaignd.JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {

@@ -49,6 +49,7 @@ func main() {
 	state := flag.String("state", "campaignd-state", "checkpoint state directory (created if missing)")
 	shardSize := flag.Int("shard-size", campaignd.DefaultShardSize, "default seeds per checkpointed shard for specs that omit shard_size")
 	throttle := flag.Duration("throttle", 0, "pause after each completed shard (rate limiting / testing; does not change results)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT: in-flight shards get this long to finish and checkpoint before a hard stop")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
@@ -89,12 +90,21 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		logger.Printf("puf-campaignd: shutting down")
+		// Graceful drain: stop intake (Submit answers 503), let in-flight
+		// shards finish and checkpoint under the deadline, then stop the
+		// listener. Terminal states are NOT recorded for unfinished jobs:
+		// they resume from their checkpoints on the next start. A second
+		// signal (stop() restores default handling) kills immediately —
+		// that is the crash path the resume machinery already covers.
+		logger.Printf("puf-campaignd: draining (deadline %s; signal again to force)", *drainTimeout)
+		stop()
+		if mgr.Drain(*drainTimeout) {
+			logger.Printf("puf-campaignd: drain complete; all in-flight shards checkpointed")
+		} else {
+			logger.Printf("puf-campaignd: drain deadline exceeded; in-flight shards will re-run on restart")
+		}
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutCtx)
-		// Stop jobs WITHOUT recording terminal states: interrupted jobs
-		// resume from their checkpoints on the next start.
-		mgr.Close()
 	}
 }

@@ -2,16 +2,22 @@
 
 package repro
 
-// End-to-end smoke of the campaign service's crash/resume contract,
+// End-to-end smoke of the campaign service's shutdown contracts,
 // exercised through the real binaries: start puf-campaignd against a
 // temp state directory, submit a campaign through puf-campaign -addr,
-// SIGKILL the daemon mid-run after at least one checkpointed shard,
+// stop the daemon mid-run after at least one checkpointed shard,
 // restart it on the same state directory, and require that
 //
 //   - the client (which reconnects through the restart) exits 0 with a
 //     full result, and
 //   - that result is byte-identical to a local one-shot run of the same
 //     spec — and to one at a different worker count.
+//
+// Both halves of the contract are covered: TestE2ECampaignd SIGKILLs
+// the daemon (crash path — an in-flight shard may legitimately re-run),
+// TestE2ECampaigndDrain SIGTERMs it (graceful drain — the daemon exits
+// 0 with every in-flight shard checkpointed, and not a single shard is
+// ever executed twice).
 //
 // Excluded from the default test run (build tag e2e) because it builds
 // binaries and kills processes; CI runs it as its own job:
@@ -247,5 +253,141 @@ func TestE2ECampaignd(t *testing.T) {
 	outB, _ := json.Marshal(other.Outcomes)
 	if !bytes.Equal(outA, outB) {
 		t.Fatal("outcomes differ across worker counts")
+	}
+}
+
+// shardRecordCounts replays the job's raw checkpoint JSONL and returns
+// per-shard record counts plus whether a terminal status record exists.
+func shardRecordCounts(t *testing.T, state string) (counts map[int]int, hasStatus bool) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(state, "*.jsonl"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("state dir holds %d checkpoint files (%v)", len(files), err)
+	}
+	blob, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts = make(map[int]int)
+	for _, line := range bytes.Split(bytes.TrimRight(blob, "\n"), []byte("\n")) {
+		var rec struct {
+			Type  string `json:"type"`
+			Shard int    `json:"shard"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("unparseable checkpoint line %q: %v", line, err)
+		}
+		switch rec.Type {
+		case "shard":
+			counts[rec.Shard]++
+		case "status":
+			hasStatus = true
+		}
+	}
+	return counts, hasStatus
+}
+
+// TestE2ECampaigndDrain is the graceful half: SIGTERM mid-sweep must
+// drain (finish + checkpoint in-flight shards), exit 0, and the
+// restarted daemon must complete the job without re-running a single
+// shard — final result byte-identical to a local one-shot run.
+func TestE2ECampaigndDrain(t *testing.T) {
+	dir := t.TempDir()
+	daemonBin, cli := buildBinaries(t, dir)
+	state := filepath.Join(dir, "state")
+	addr := freeAddr(t)
+
+	daemon1 := startDaemon(t, daemonBin, addr, state)
+
+	clientOut := new(bytes.Buffer)
+	client := exec.Command(cli, append([]string{"-addr", "http://" + addr}, e2eSpecArgs()...)...)
+	client.Stdout = clientOut
+	client.Stderr = os.Stderr
+	if err := client.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clientDone := make(chan error, 1)
+	go func() { clientDone <- client.Wait() }()
+	t.Cleanup(func() {
+		if client.Process != nil {
+			client.Process.Kill()
+		}
+	})
+
+	deadline := time.Now().Add(30 * time.Second)
+	var drainedAt int
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached a mid-sweep checkpoint")
+		}
+		st, done, total, ok := jobProgress(t, addr)
+		if ok && st == "done" {
+			t.Fatal("job finished before the drain; raise -throttle")
+		}
+		if ok && done >= 1 && done < total {
+			drainedAt = done
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Graceful stop: SIGTERM must drain and exit 0.
+	if err := daemon1.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	daemonDone := make(chan error, 1)
+	go func() { daemonDone <- daemon1.Wait() }()
+	select {
+	case err := <-daemonDone:
+		if err != nil {
+			t.Fatalf("daemon did not exit 0 on SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	t.Logf("daemon drained and exited 0 with >=%d shards checkpointed", drainedAt)
+
+	// The drained checkpoint is clean: every recorded shard exactly once,
+	// no terminal status record (the job is resumable, not failed).
+	before, hasStatus := shardRecordCounts(t, state)
+	if hasStatus {
+		t.Fatal("drained job wrote a terminal status record")
+	}
+	if len(before) < drainedAt {
+		t.Fatalf("checkpoint holds %d shards, %d were reported done before the drain", len(before), drainedAt)
+	}
+	for s, n := range before {
+		if n != 1 {
+			t.Fatalf("shard %d recorded %d times after the drain", s, n)
+		}
+	}
+
+	// Restart; the client (riding its retry backoff through the outage)
+	// must complete with a result identical to a local one-shot run.
+	startDaemon(t, daemonBin, addr, state)
+	select {
+	case err := <-clientDone:
+		if err != nil {
+			t.Fatalf("client failed across the drain/restart: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("client did not complete after the daemon restart")
+	}
+	var resumed campaign.Result
+	if err := json.Unmarshal(clientOut.Bytes(), &resumed); err != nil {
+		t.Fatalf("client output: %v\n%s", err, clientOut.Bytes())
+	}
+	local := runLocal(t, cli, e2eWorkers)
+	if canonical(t, &resumed) != canonical(t, local) {
+		t.Fatalf("drain-resumed result differs from local one-shot run:\n%s\nvs\n%s",
+			canonical(t, &resumed), canonical(t, local))
+	}
+
+	// Zero re-runs, end to end: every shard index appears exactly once.
+	after, _ := shardRecordCounts(t, state)
+	for s, n := range after {
+		if n != 1 {
+			t.Fatalf("shard %d recorded %d times — a shard was re-run", s, n)
+		}
 	}
 }

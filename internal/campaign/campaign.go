@@ -15,8 +15,10 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -176,9 +178,45 @@ func Tasks() []Task {
 
 // -------------------------------------------------------------- pool --
 
+// PanicError is a panic recovered from a task or pool function,
+// converted into an ordinary error so one berserk task instance fails
+// its campaign cleanly instead of killing the process. The original
+// panic value and the goroutine stack at recovery time ride along for
+// diagnosis.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack (debug.Stack form).
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Call invokes f, converting a panic into a *PanicError. It is the one
+// recovery point of the engine: ForEach wraps every pool function with
+// it, and campaignd wraps each shard attempt so a retried shard gets a
+// fresh recovery scope per attempt.
+func Call(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f()
+}
+
+// ErrDrained is returned by ForEachDrain when the drain signal stopped
+// the feed before every index ran: the indices that were in flight
+// completed normally, the rest were never started.
+var ErrDrained = errors.New("campaign: drained before completion")
+
 // ForEach runs fn(i) for every i in [0, n) on a pool of `workers`
 // goroutines (0 or negative = GOMAXPROCS, capped at n). The first error
-// cancels all pending work (fail-fast); in-flight tasks finish. The
+// cancels all pending work (fail-fast); in-flight tasks finish. A
+// panicking fn is recovered into a *PanicError and treated as that
+// index's failure — a berserk task cannot take down the pool. The
 // returned error is the failure with the lowest index — deterministic
 // even when several workers fail concurrently — or the parent context's
 // error when the campaign was cancelled from outside.
@@ -187,6 +225,18 @@ func Tasks() []Task {
 // directly to fan out multi-seed sweeps whose aggregation does not fit
 // the Metrics shape.
 func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	return ForEachDrain(ctx, nil, n, workers, fn)
+}
+
+// ForEachDrain is ForEach with a graceful-drain signal: when drain is
+// closed, the feed loop stops handing out new indices while the
+// in-flight fn calls run to completion under a live context — the
+// behavior a SIGTERM'd daemon wants, finish what you started but take
+// nothing new. If the drain left indices unstarted, the pool returns
+// ErrDrained (after any real fn error, which still wins); if every
+// index had already been fed, the run completes as if never drained. A
+// nil drain channel makes ForEachDrain exactly ForEach.
+func ForEachDrain(ctx context.Context, drain <-chan struct{}, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -210,18 +260,29 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 				if poolCtx.Err() != nil {
 					return
 				}
-				if err := fn(poolCtx, i); err != nil {
+				if err := Call(func() error { return fn(poolCtx, i) }); err != nil {
 					errs[i] = err
 					cancel()
 				}
 			}
 		}()
 	}
+	fed := 0
 feed:
 	for i := 0; i < n; i++ {
+		// An already-closed drain must feed nothing more, even when a
+		// worker is simultaneously ready to receive.
+		select {
+		case <-drain:
+			break feed
+		default:
+		}
 		select {
 		case jobs <- i:
+			fed++
 		case <-poolCtx.Done():
+			break feed
+		case <-drain:
 			break feed
 		}
 	}
@@ -233,7 +294,13 @@ feed:
 			return fmt.Errorf("campaign: task %d: %w", i, err)
 		}
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if fed < n {
+		return ErrDrained
+	}
+	return nil
 }
 
 // --------------------------------------------------------------- run --

@@ -179,3 +179,101 @@ func TestRegisterRejectsDuplicates(t *testing.T) {
 	}()
 	Register(Task{Name: "test-walk", Run: func(context.Context, uint64, Options) (Metrics, error) { return nil, nil }})
 }
+
+// A panicking task must fail its campaign as an ordinary error carrying
+// the panic value and stack — never crash the process. This is the
+// proof behind the daemon's panic-isolation guarantee: campaignd's
+// worker pool and campaign.Run both funnel through the same recovery
+// scope (Call).
+func TestPanickingTaskFailsCampaignCleanly(t *testing.T) {
+	Register(Task{
+		Name: "test-panic-on-third",
+		Desc: "panics on every third index (test fixture)",
+		Run: func(_ context.Context, seed uint64, _ Options) (Metrics, error) {
+			if seed%3 == 0 {
+				panic(fmt.Sprintf("berserk task, seed %#x", seed))
+			}
+			return Metrics{"ok": 1}, nil
+		},
+	})
+	_, err := Run(context.Background(), Spec{Task: "test-panic-on-third", BaseSeed: 5, Seeds: 40, Workers: 4})
+	if err == nil {
+		t.Fatal("campaign with panicking task reported success")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not a PanicError: %v", err)
+	}
+	if !strings.Contains(fmt.Sprint(pe.Value), "berserk task") {
+		t.Fatalf("panic value lost: %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(err.Error(), "goroutine") {
+		t.Fatal("panic stack not captured")
+	}
+}
+
+// Call converts panics to errors and passes ordinary returns through.
+func TestCallRecoversPanics(t *testing.T) {
+	if err := Call(func() error { return nil }); err != nil {
+		t.Fatalf("clean call returned %v", err)
+	}
+	sentinel := errors.New("boom")
+	if err := Call(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("error not passed through: %v", err)
+	}
+	err := Call(func() error { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "kaboom" {
+		t.Fatalf("panic not converted: %v", err)
+	}
+}
+
+// ForEachDrain: a drain signal stops the feed, lets in-flight indices
+// finish, and reports ErrDrained when indices never started; a drain
+// that arrives after the last index was fed changes nothing.
+func TestForEachDrainStopsFeedingButFinishesInFlight(t *testing.T) {
+	drain := make(chan struct{})
+	started := make(chan int)
+	release := make(chan struct{})
+	var completed atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEachDrain(context.Background(), drain, 16, 2, func(ctx context.Context, i int) error {
+			started <- i
+			<-release
+			completed.Add(1)
+			return nil
+		})
+	}()
+	// Two indices in flight; drain, then let them finish.
+	<-started
+	<-started
+	close(drain)
+	close(release)
+	err := <-done
+	if !errors.Is(err, ErrDrained) {
+		t.Fatalf("err = %v, want ErrDrained", err)
+	}
+	if got := completed.Load(); got != 2 {
+		t.Fatalf("completed %d in-flight indices, want 2", got)
+	}
+
+	// Already-closed drain: nothing runs at all.
+	var ran atomic.Int64
+	err = ForEachDrain(context.Background(), drain, 8, 4, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, ErrDrained) || ran.Load() != 0 {
+		t.Fatalf("pre-drained pool: err=%v ran=%d", err, ran.Load())
+	}
+
+	// Nil drain is plain ForEach: everything runs, no error.
+	var all atomic.Int64
+	if err := ForEachDrain(context.Background(), nil, 8, 4, func(ctx context.Context, i int) error {
+		all.Add(1)
+		return nil
+	}); err != nil || all.Load() != 8 {
+		t.Fatalf("nil drain: err=%v ran=%d", err, all.Load())
+	}
+}

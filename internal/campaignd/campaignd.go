@@ -23,12 +23,27 @@
 package campaignd
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/silicon"
 )
+
+// ErrDraining is returned by Submit while the daemon is draining for
+// shutdown: intake is closed, in-flight shards are finishing. The HTTP
+// layer maps it to 503 so clients with retry backoff ride through a
+// rolling restart.
+var ErrDraining = errors.New("campaignd: draining; not accepting new campaigns")
+
+// InternalError marks a Submit failure that is the daemon's fault, not
+// the spec's — job-ID entropy exhaustion, checkpoint-file creation —
+// so the HTTP layer answers 500 instead of blaming the client with 400.
+type InternalError struct{ Err error }
+
+func (e *InternalError) Error() string { return e.Err.Error() }
+func (e *InternalError) Unwrap() error { return e.Err }
 
 // Spec is the wire form of a campaign request (POST /v1/campaigns).
 type Spec struct {
@@ -99,16 +114,24 @@ const (
 	// StateDone means every shard completed and the final Result is
 	// available.
 	StateDone State = "done"
-	// StateFailed means a task instance returned an error; the
-	// checkpointed shards remain on disk but the job is terminal.
+	// StateFailed means the job hit an internal error (finalization,
+	// closed checkpoint); the checkpointed shards remain on disk but the
+	// job is terminal.
 	StateFailed State = "failed"
 	// StateCancelled means the job was cancelled via the API. Terminal.
 	StateCancelled State = "cancelled"
+	// StateQuarantined means every schedulable shard ran but one or more
+	// poison shards exhausted their retry budget (task error or panic on
+	// every attempt) and were quarantined. The job is terminal, the
+	// healthy shards' partial aggregates are available, and the
+	// quarantined shard indices are enumerated in the status — never a
+	// silent hang, never a silently wrong result.
+	StateQuarantined State = "quarantined"
 )
 
 // terminal reports whether a state is final.
 func (s State) terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateQuarantined
 }
 
 // JobStatus is the API view of a job.
@@ -123,8 +146,11 @@ type JobStatus struct {
 	ShardsTotal int `json:"shards_total"`
 	SeedsDone   int `json:"seeds_done"`
 	SeedsTotal  int `json:"seeds_total"`
-	// Error is set for failed jobs.
+	// Error is set for failed and quarantined jobs.
 	Error string `json:"error,omitempty"`
+	// Quarantined enumerates the shard indices that exhausted their
+	// retry budget (quarantined jobs only), sorted ascending.
+	Quarantined []int `json:"quarantined,omitempty"`
 	// Aggregates are the streaming partial aggregates over completed
 	// shards (Wilson intervals computed at read time). For done jobs
 	// they are superseded by Result.Aggregates.
@@ -132,6 +158,22 @@ type JobStatus struct {
 	// Result is the final campaign result, present on detail views of
 	// done jobs — bit-identical to a one-shot campaign.Run of Spec.
 	Result *campaign.Result `json:"result,omitempty"`
+}
+
+// Health is the daemon's liveness/readiness snapshot behind /healthz.
+type Health struct {
+	// Draining is set between the drain signal and process exit.
+	Draining bool
+	// Degraded is set once a shard's checkpoint write has persistently
+	// failed: the affected jobs keep running (and completing) in memory,
+	// but a crash before they finish would re-run the lost shards.
+	Degraded bool
+	// CheckpointErrors counts individual checkpoint write/sync failures
+	// (including ones a retry later recovered).
+	CheckpointErrors int64
+	// LostDurabilityShards counts shards whose checkpoint record was
+	// abandoned after the retry budget — completed in memory only.
+	LostDurabilityShards int64
 }
 
 // Event is one server-sent progress notification for a job. A terminal
@@ -145,4 +187,5 @@ type Event struct {
 	SeedsTotal  int                  `json:"seeds_total"`
 	Aggregates  []campaign.Aggregate `json:"aggregates,omitempty"`
 	Error       string               `json:"error,omitempty"`
+	Quarantined []int                `json:"quarantined,omitempty"`
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/faultinject"
 )
 
 // The checkpoint store is one append-only JSONL file per job under the
@@ -53,12 +54,15 @@ type shardRecord struct {
 	Digest   string             `json:"digest"`
 }
 
-// statusRecord marks a terminal state.
+// statusRecord marks a terminal state. Quarantined carries the poison
+// shard indices for StateQuarantined jobs, so a restart reports the
+// same verdict without re-running them.
 type statusRecord struct {
-	Type     string    `json:"type"` // "status"
-	State    State     `json:"state"`
-	Error    string    `json:"error,omitempty"`
-	Finished time.Time `json:"finished"`
+	Type        string    `json:"type"` // "status"
+	State       State     `json:"state"`
+	Error       string    `json:"error,omitempty"`
+	Quarantined []int     `json:"quarantined,omitempty"`
+	Finished    time.Time `json:"finished"`
 }
 
 // outcomesDigest is the integrity digest stored in (and checked
@@ -104,14 +108,24 @@ func openCheckpoint(dir, id string) (*checkpointFile, error) {
 
 // append writes one record as a single line and syncs it to disk.
 // Callers serialize (the job mutex); records therefore never interleave.
+// The "checkpoint.append" and "checkpoint.fsync" injection points model
+// a write error and an fsync error respectively; both leave the file in
+// a state the loader already tolerates (a missing or torn record is a
+// shard that never completed).
 func (c *checkpointFile) append(rec any) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("campaignd: marshal checkpoint record: %w", err)
 	}
 	line = append(line, '\n')
+	if err := faultinject.Fire("checkpoint.append"); err != nil {
+		return fmt.Errorf("campaignd: append checkpoint record: %w", err)
+	}
 	if _, err := c.f.Write(line); err != nil {
 		return fmt.Errorf("campaignd: append checkpoint record: %w", err)
+	}
+	if err := faultinject.Fire("checkpoint.fsync"); err != nil {
+		return fmt.Errorf("campaignd: sync checkpoint: %w", err)
 	}
 	if err := c.f.Sync(); err != nil {
 		return fmt.Errorf("campaignd: sync checkpoint: %w", err)
@@ -131,8 +145,14 @@ func (c *checkpointFile) appendShard(shard, from, to int, outs []campaign.Outcom
 		return 0, err
 	}
 	line = append(line, '\n')
+	if err := faultinject.Fire("checkpoint.append"); err != nil {
+		return 0, fmt.Errorf("campaignd: append shard record: %w", err)
+	}
 	if _, err := c.f.Write(line); err != nil {
 		return 0, fmt.Errorf("campaignd: append shard record: %w", err)
+	}
+	if err := faultinject.Fire("checkpoint.fsync"); err != nil {
+		return 0, fmt.Errorf("campaignd: sync checkpoint: %w", err)
 	}
 	if err := c.f.Sync(); err != nil {
 		return 0, fmt.Errorf("campaignd: sync checkpoint: %w", err)
@@ -152,9 +172,10 @@ type loadedJob struct {
 	shards map[int][]campaign.Outcome
 	// state is the recorded terminal state, or "" when the job was
 	// interrupted (no status record) and must resume.
-	state    State
-	errMsg   string
-	finished *time.Time
+	state       State
+	errMsg      string
+	quarantined []int
+	finished    *time.Time
 	// dropped counts malformed or digest-mismatched records that were
 	// ignored (their shards re-run).
 	dropped int
@@ -215,7 +236,7 @@ func loadCheckpoint(path string) (*loadedJob, error) {
 				lj.dropped++
 				continue
 			}
-			lj.state, lj.errMsg = rec.State, rec.Error
+			lj.state, lj.errMsg, lj.quarantined = rec.State, rec.Error, rec.Quarantined
 			fin := rec.Finished
 			lj.finished = &fin
 		default:

@@ -2,8 +2,11 @@ package campaignd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+
+	"repro/internal/faultinject"
 )
 
 // Server exposes a Manager over HTTP/JSON:
@@ -31,18 +34,43 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGet)
 	s.mux.HandleFunc("POST /v1/campaigns/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.handleStream)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The "http.accept" injection point
+// models front-door failures: an injected error answers 503 before the
+// mux dispatches (clients with retry backoff ride through).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.m.counters.httpRequests.Add(1)
+	if err := faultinject.Fire("http.accept"); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// handleHealthz reports liveness plus the degradation ladder: "ok"
+// (200), "draining" (503, shutdown in progress — stop routing here),
+// or "degraded" (503, checkpoint durability lost; the daemon still
+// serves and jobs still complete, but a crash would re-run the lost
+// shards).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	h := s.m.Health()
+	switch {
+	case h.Draining:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case h.Degraded:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "degraded")
+		fmt.Fprintf(w, "checkpoint_errors %d\n", h.CheckpointErrors)
+		fmt.Fprintf(w, "lost_durability_shards %d\n", h.LostDurabilityShards)
+	default:
+		fmt.Fprintln(w, "ok")
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -70,7 +98,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.m.Submit(spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		var internal *InternalError
+		switch {
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.As(err, &internal):
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusCreated, st)

@@ -4,15 +4,18 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/faultinject"
 	"repro/internal/rng"
 )
 
@@ -28,13 +31,47 @@ type Options struct {
 	// for operational rate-limiting and for tests that must observe a
 	// job mid-sweep; it has no effect on results.
 	Throttle time.Duration
+	// MaxShardAttempts bounds how many times a failing shard (task
+	// error or recovered panic) is executed before it is quarantined
+	// (0 = DefaultShardAttempts). Because outcomes are pure functions of
+	// (base seed, task index), a retry that succeeds is byte-identical
+	// to a first-try success.
+	MaxShardAttempts int
+	// RetryBackoff is the base of the exponential shard-retry backoff
+	// (0 = DefaultRetryBackoff); successive attempts double it, capped
+	// at RetryMaxBackoff (0 = DefaultRetryMaxBackoff), with
+	// deterministic per-(shard, attempt) jitter in [0.5x, 1.5x).
+	RetryBackoff    time.Duration
+	RetryMaxBackoff time.Duration
+	// CheckpointAttempts bounds the write+fsync attempts per checkpoint
+	// record (0 = DefaultCheckpointAttempts). When the budget is
+	// exhausted the shard's durability is abandoned — the job keeps
+	// running in memory, /healthz turns degraded, and the shard re-runs
+	// after a restart.
+	CheckpointAttempts int
+	// CheckpointBackoff is the pause between checkpoint write attempts
+	// (0 = DefaultCheckpointBackoff).
+	CheckpointBackoff time.Duration
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
 
-// DefaultShardSize is the seeds-per-shard used when neither the spec
-// nor the daemon names one.
-const DefaultShardSize = 8
+// Defaults for the knobs Options leaves zero.
+const (
+	// DefaultShardSize is the seeds-per-shard used when neither the spec
+	// nor the daemon names one.
+	DefaultShardSize = 8
+	// DefaultShardAttempts is the per-shard execution budget.
+	DefaultShardAttempts = 3
+	// DefaultRetryBackoff / DefaultRetryMaxBackoff shape the shard-retry
+	// exponential backoff.
+	DefaultRetryBackoff    = 25 * time.Millisecond
+	DefaultRetryMaxBackoff = time.Second
+	// DefaultCheckpointAttempts / DefaultCheckpointBackoff shape the
+	// checkpoint-write retry.
+	DefaultCheckpointAttempts = 3
+	DefaultCheckpointBackoff  = 10 * time.Millisecond
+)
 
 // Manager owns the job table, the per-job shard schedulers, and the
 // checkpoint store. All exported methods are safe for concurrent use.
@@ -43,6 +80,13 @@ type Manager struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	// draining flips when Drain is called: Submit rejects, schedulers
+	// stop feeding new shards (drainCh closes), in-flight shards finish
+	// and checkpoint.
+	draining  atomic.Bool
+	drainCh   chan struct{}
+	drainOnce sync.Once
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -73,6 +117,12 @@ type job struct {
 	cancelled  bool
 	cancel     context.CancelFunc
 	ckpt       *checkpointFile
+	// quarantined maps poison shard index → one-line failure summary
+	// (retry budget exhausted; job ends StateQuarantined).
+	quarantined map[int]string
+	// lostShards counts shards whose checkpoint record was abandoned
+	// after the write-retry budget (completed in memory only).
+	lostShards int
 	subs       map[int]chan Event
 	nextSub    int
 }
@@ -86,15 +136,31 @@ func New(opts Options) (*Manager, error) {
 	if opts.ShardSize <= 0 {
 		opts.ShardSize = DefaultShardSize
 	}
+	if opts.MaxShardAttempts <= 0 {
+		opts.MaxShardAttempts = DefaultShardAttempts
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = DefaultRetryBackoff
+	}
+	if opts.RetryMaxBackoff <= 0 {
+		opts.RetryMaxBackoff = DefaultRetryMaxBackoff
+	}
+	if opts.CheckpointAttempts <= 0 {
+		opts.CheckpointAttempts = DefaultCheckpointAttempts
+	}
+	if opts.CheckpointBackoff <= 0 {
+		opts.CheckpointBackoff = DefaultCheckpointBackoff
+	}
 	if err := os.MkdirAll(opts.StateDir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaignd: state dir: %w", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Manager{
-		opts:   opts,
-		ctx:    ctx,
-		cancel: cancel,
-		jobs:   make(map[string]*job),
+		opts:    opts,
+		ctx:     ctx,
+		cancel:  cancel,
+		drainCh: make(chan struct{}),
+		jobs:    make(map[string]*job),
 	}, nil
 }
 
@@ -104,6 +170,41 @@ func New(opts Options) (*Manager, error) {
 func (m *Manager) Close() {
 	m.cancel()
 	m.wg.Wait()
+	m.closeCheckpoints()
+}
+
+// Drain is the graceful half of shutdown: it stops intake (Submit
+// returns ErrDraining), stops feeding new shards to every scheduler,
+// lets the in-flight shards finish and checkpoint, and returns once the
+// schedulers have exited — or, past the timeout, cancels the stragglers
+// hard (they stay resumable, exactly like Close). The return value
+// reports whether the drain completed cleanly within the deadline.
+// Either way, no completed-and-checkpointed shard is ever re-run by the
+// next Recover.
+func (m *Manager) Drain(timeout time.Duration) bool {
+	m.draining.Store(true)
+	m.drainOnce.Do(func() { close(m.drainCh) })
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	clean := true
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		clean = false
+		m.logf("campaignd: drain deadline (%s) exceeded; cancelling in-flight shards", timeout)
+		m.cancel()
+		<-done
+	}
+	m.cancel()
+	m.closeCheckpoints()
+	return clean
+}
+
+// closeCheckpoints releases any checkpoint file a resumable job still
+// holds (finish closes them on every path, so this is a backstop).
+func (m *Manager) closeCheckpoints() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, j := range m.jobs {
@@ -116,19 +217,32 @@ func (m *Manager) Close() {
 	}
 }
 
+// Health snapshots the daemon's operational state for /healthz.
+func (m *Manager) Health() Health {
+	lost := m.counters.lostDurabilityShards.Load()
+	return Health{
+		Draining:             m.draining.Load(),
+		Degraded:             lost > 0,
+		CheckpointErrors:     m.counters.checkpointErrors.Load(),
+		LostDurabilityShards: lost,
+	}
+}
+
 func (m *Manager) logf(format string, args ...any) {
 	if m.opts.Logf != nil {
 		m.opts.Logf(format, args...)
 	}
 }
 
-// newJobID returns a fresh random job identifier.
-func newJobID() string {
+// newJobID returns a fresh random job identifier. Entropy exhaustion is
+// reported as an error (surfacing as HTTP 500 through Submit), not a
+// panic: a degraded entropy pool must not take the daemon down.
+func newJobID() (string, error) {
 	var b [6]byte
 	if _, err := rand.Read(b[:]); err != nil {
-		panic(fmt.Sprintf("campaignd: rand: %v", err))
+		return "", fmt.Errorf("campaignd: job id: %w", err)
 	}
-	return "c" + hex.EncodeToString(b[:])
+	return "c" + hex.EncodeToString(b[:]), nil
 }
 
 // numShards is the shard count for a normalized spec.
@@ -154,14 +268,20 @@ func (m *Manager) Submit(spec Spec) (JobStatus, error) {
 	}
 	task, _ := campaign.Lookup(spec.Task)
 
+	if m.draining.Load() {
+		return JobStatus{}, ErrDraining
+	}
 	if m.ctx.Err() != nil {
 		return JobStatus{}, fmt.Errorf("campaignd: manager is shut down")
 	}
-	id := newJobID()
+	id, err := newJobID()
+	if err != nil {
+		return JobStatus{}, &InternalError{Err: err}
+	}
 	created := time.Now().UTC().Truncate(time.Millisecond)
 	ckpt, err := createCheckpoint(m.opts.StateDir, id, created, spec)
 	if err != nil {
-		return JobStatus{}, err
+		return JobStatus{}, &InternalError{Err: err}
 	}
 	j := m.newJob(id, created, spec, task)
 	j.ckpt = ckpt
@@ -274,6 +394,14 @@ func (m *Manager) adopt(lj *loadedJob) error {
 		m.logf("campaignd: job %s recovered complete (%d shards)", j.id, j.shards)
 	case lj.state.terminal():
 		j.state, j.errMsg, j.finished = lj.state, lj.errMsg, lj.finished
+		if len(lj.quarantined) > 0 {
+			j.quarantined = make(map[int]string, len(lj.quarantined))
+			for _, s := range lj.quarantined {
+				// Per-shard failure text lives in the error message; the
+				// record pins only the indices.
+				j.quarantined[s] = "quarantined (see error)"
+			}
+		}
 		m.install(j)
 		m.counters.jobsRecovered.Add(1)
 		m.logf("campaignd: job %s recovered %s", j.id, j.state)
@@ -316,19 +444,16 @@ func (m *Manager) start(j *job) {
 	go func() {
 		defer m.wg.Done()
 		defer cancel()
-		err := campaign.ForEach(ctx, len(pending), j.spec.Workers, func(shardCtx context.Context, k int) error {
+		err := campaign.ForEachDrain(ctx, m.drainCh, len(pending), j.spec.Workers, func(shardCtx context.Context, k int) error {
 			s := pending[k]
-			outs, err := m.runShard(shardCtx, j, s)
-			if err != nil {
-				return err
-			}
-			if err := m.completeShard(j, s, outs); err != nil {
+			if err := m.runShardResilient(shardCtx, j, s); err != nil {
 				return err
 			}
 			if m.opts.Throttle > 0 {
 				select {
 				case <-time.After(m.opts.Throttle):
 				case <-shardCtx.Done():
+				case <-m.drainCh:
 				}
 			}
 			return nil
@@ -337,10 +462,113 @@ func (m *Manager) start(j *job) {
 	}()
 }
 
+// runShardResilient is one shard's full fault envelope: each execution
+// attempt runs under a panic-recovery scope (a panicking task becomes a
+// *campaign.PanicError carrying the stack, never a dead daemon), task
+// errors and panics retry with exponential backoff plus deterministic
+// jitter, and a shard that fails every attempt is quarantined — the job
+// carries on with its remaining shards instead of hanging or failing
+// silently. Cancellation and shutdown are never retried or quarantined:
+// they propagate so the scheduler can stop.
+func (m *Manager) runShardResilient(ctx context.Context, j *job, s int) error {
+	attempts := m.opts.MaxShardAttempts
+	var last error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		var outs []campaign.Outcome
+		err := campaign.Call(func() error {
+			var rerr error
+			outs, rerr = m.runShard(ctx, j, s)
+			return rerr
+		})
+		if err == nil {
+			return m.completeShard(j, s, outs)
+		}
+		if ctx.Err() != nil {
+			// Cancellation (job cancel or daemon shutdown) mid-shard —
+			// not a shard fault.
+			return ctx.Err()
+		}
+		last = err
+		var pe *campaign.PanicError
+		if errors.As(err, &pe) {
+			m.counters.panicsRecovered.Add(1)
+			m.logf("campaignd: job %s shard %d attempt %d/%d panicked: %v\n%s",
+				j.id, s, attempt, attempts, pe.Value, pe.Stack)
+		} else {
+			m.logf("campaignd: job %s shard %d attempt %d/%d failed: %v", j.id, s, attempt, attempts, err)
+		}
+		if attempt < attempts {
+			m.counters.shardRetries.Add(1)
+			if !sleepCtx(ctx, retryBackoff(m.opts.RetryBackoff, m.opts.RetryMaxBackoff, j.spec.BaseSeed, s, attempt)) {
+				return ctx.Err()
+			}
+		}
+	}
+	m.quarantineShard(j, s, last)
+	return nil
+}
+
+// retryBackoff is the attempt'th shard-retry delay: exponential from
+// base, capped at max, jittered deterministically by (campaign base
+// seed, shard, attempt) so chaos runs replay their timing envelope.
+func retryBackoff(base, max time.Duration, baseSeed uint64, shard, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	if d <= 0 || d > max {
+		d = max
+	}
+	h := rng.StreamSeed(baseSeed^(uint64(shard)*0x9e3779b97f4a7c15), uint64(attempt))
+	u := float64(h>>11) / (1 << 53)
+	return time.Duration(float64(d) * (0.5 + u))
+}
+
+// sleepCtx sleeps for d unless ctx ends first; it reports whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// quarantineShard records a poison shard: the retry budget is spent,
+// the shard's outcomes are abandoned, and the job will terminate
+// StateQuarantined (with the shard enumerated) once the remaining
+// shards finish.
+func (m *Manager) quarantineShard(j *job, s int, err error) {
+	summary := firstLine(err.Error())
+	j.mu.Lock()
+	if j.quarantined == nil {
+		j.quarantined = make(map[int]string)
+	}
+	j.quarantined[s] = summary
+	j.mu.Unlock()
+	m.counters.shardsQuarantined.Add(1)
+	m.logf("campaignd: job %s shard %d quarantined after %d attempts: %s", j.id, s, m.opts.MaxShardAttempts, summary)
+}
+
+// firstLine trims an error message to its first line — panic errors
+// carry whole goroutine stacks, which belong in the log, not in a
+// status field enumerating shards.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
 // runShard executes one shard's task instances sequentially. Each
 // instance's seed depends only on (base seed, task index), so the
-// result is independent of scheduling.
+// result is independent of scheduling — and of how many attempts it
+// took to get here. The "shard.run" injection point models a fault at
+// the top of the attempt.
 func (m *Manager) runShard(ctx context.Context, j *job, s int) ([]campaign.Outcome, error) {
+	if err := faultinject.Fire("shard.run"); err != nil {
+		return nil, err
+	}
 	from, to := shardBounds(s, j.spec.Seeds, j.spec.ShardSize)
 	outs := make([]campaign.Outcome, 0, to-from)
 	opts := campaign.Options{Noise: j.spec.Noise}
@@ -359,7 +587,12 @@ func (m *Manager) runShard(ctx context.Context, j *job, s int) ([]campaign.Outco
 }
 
 // completeShard checkpoints a finished shard, folds it into the
-// streaming partial, and notifies subscribers.
+// streaming partial, and notifies subscribers. A checkpoint write that
+// keeps failing past the retry budget degrades durability instead of
+// failing the job: the shard's outcomes stay in memory (the final
+// result is unaffected), the daemon turns degraded on /healthz, and the
+// shard would re-run after a restart — deterministically, to the same
+// bytes.
 func (m *Manager) completeShard(j *job, s int, outs []campaign.Outcome) error {
 	from, to := shardBounds(s, j.spec.Seeds, j.spec.ShardSize)
 	j.mu.Lock()
@@ -367,9 +600,25 @@ func (m *Manager) completeShard(j *job, s int, outs []campaign.Outcome) error {
 	if j.ckpt == nil {
 		return fmt.Errorf("campaignd: job %s checkpoint closed", j.id)
 	}
-	n, err := j.ckpt.appendShard(s, from, to, outs)
-	if err != nil {
-		return err
+	durable := false
+	for attempt := 1; attempt <= m.opts.CheckpointAttempts; attempt++ {
+		n, err := j.ckpt.appendShard(s, from, to, outs)
+		if err == nil {
+			m.counters.checkpointBytes.Add(int64(n))
+			durable = true
+			break
+		}
+		m.counters.checkpointErrors.Add(1)
+		m.logf("campaignd: job %s shard %d checkpoint attempt %d/%d: %v",
+			j.id, s, attempt, m.opts.CheckpointAttempts, err)
+		if attempt < m.opts.CheckpointAttempts {
+			sleepCtx(m.ctx, time.Duration(attempt)*m.opts.CheckpointBackoff)
+		}
+	}
+	if !durable {
+		j.lostShards++
+		m.counters.lostDurabilityShards.Add(1)
+		m.logf("campaignd: job %s shard %d: durability lost, continuing in memory", j.id, s)
 	}
 	j.done[s] = true
 	j.doneShards++
@@ -380,18 +629,21 @@ func (m *Manager) completeShard(j *job, s int, outs []campaign.Outcome) error {
 	}
 	m.counters.shardsCompleted.Add(1)
 	m.counters.seedsCompleted.Add(int64(len(outs)))
-	m.counters.checkpointBytes.Add(int64(n))
 	j.broadcastLocked()
 	return nil
 }
 
 // finish records a job's terminal state — or, when the manager itself
-// is shutting down, leaves the job resumable and records nothing.
+// is shutting down or draining, leaves the job resumable and records
+// nothing beyond the shards already checkpointed.
 func (m *Manager) finish(j *job, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 
 	switch {
+	case err == nil && len(j.quarantined) > 0:
+		// Every schedulable shard ran; the poison ones are enumerated.
+		j.state, j.errMsg = StateQuarantined, quarantineMessage(j.quarantined, m.opts.MaxShardAttempts)
 	case err == nil:
 		res, ferr := campaign.Finalize(j.spec.campaignSpec(), j.outcomes)
 		if ferr != nil {
@@ -401,8 +653,9 @@ func (m *Manager) finish(j *job, err error) {
 		}
 	case j.cancelled:
 		j.state = StateCancelled
-	case m.ctx.Err() != nil:
-		// Daemon shutdown: no terminal record; Recover resumes this job.
+	case errors.Is(err, campaign.ErrDrained) || m.ctx.Err() != nil:
+		// Graceful drain or daemon shutdown: no terminal record; Recover
+		// resumes this job from the shards already checkpointed.
 		if j.ckpt != nil {
 			j.ckpt.Close()
 			j.ckpt = nil
@@ -416,8 +669,10 @@ func (m *Manager) finish(j *job, err error) {
 	now := time.Now().UTC().Truncate(time.Millisecond)
 	j.finished = &now
 	if j.ckpt != nil {
-		rec := statusRecord{Type: "status", State: j.state, Error: j.errMsg, Finished: now}
+		rec := statusRecord{Type: "status", State: j.state, Error: j.errMsg,
+			Quarantined: sortedShardList(j.quarantined), Finished: now}
 		if werr := j.ckpt.append(rec); werr != nil {
+			m.counters.checkpointErrors.Add(1)
 			m.logf("campaignd: job %s: status record: %v", j.id, werr)
 		}
 		j.ckpt.Close()
@@ -426,6 +681,39 @@ func (m *Manager) finish(j *job, err error) {
 	m.logf("campaignd: job %s %s (%d/%d shards)", j.id, j.state, j.doneShards, j.shards)
 	j.broadcastLocked()
 	j.closeSubsLocked()
+}
+
+// quarantineMessage renders the terminal error for a quarantined job:
+// every poison shard with its last failure, in shard order.
+func quarantineMessage(q map[int]string, attempts int) string {
+	shards := make([]int, 0, len(q))
+	for s := range q {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d shard(s) quarantined after %d attempts each: ", len(shards), attempts)
+	for i, s := range shards {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "shard %d: %s", s, q[s])
+	}
+	return b.String()
+}
+
+// sortedShardList flattens a quarantine map to its sorted shard indices
+// (nil for none, keeping JSON omitempty clean).
+func sortedShardList(q map[int]string) []int {
+	if len(q) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(q))
+	for s := range q {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Get returns one job's status; detail includes the final Result for
@@ -531,6 +819,7 @@ func (j *job) eventLocked() Event {
 		SeedsTotal:  j.spec.Seeds,
 		Aggregates:  j.partial.Aggregates(),
 		Error:       j.errMsg,
+		Quarantined: sortedShardList(j.quarantined),
 	}
 }
 
@@ -578,6 +867,7 @@ func (j *job) status(detail bool) JobStatus {
 		SeedsDone:   j.seedsDone,
 		SeedsTotal:  j.spec.Seeds,
 		Error:       j.errMsg,
+		Quarantined: sortedShardList(j.quarantined),
 	}
 	if j.state == StateDone {
 		if detail {

@@ -3,6 +3,7 @@ package campaignd
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -123,15 +124,62 @@ func TestShardedMatchesOneShot(t *testing.T) {
 	}
 }
 
-func TestTaskFailureFailsJob(t *testing.T) {
-	m := newTestManager(t, Options{ShardSize: 2})
+// A deterministically failing task no longer fail-fasts the whole job:
+// each poison shard is retried to its attempt budget, quarantined, and
+// the job terminates in the distinct quarantined state with the
+// offending shards enumerated — while the healthy shards' outcomes
+// survive in the partial aggregates.
+func TestTaskFailureQuarantinesPoisonShards(t *testing.T) {
+	m := newTestManager(t, Options{ShardSize: 2,
+		RetryBackoff: time.Millisecond, RetryMaxBackoff: 2 * time.Millisecond})
 	st, err := m.Submit(Spec{Task: "campaignd-test-fail", BaseSeed: 1, Seeds: 12, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	final := waitTerminal(t, m, st.ID)
-	if final.State != StateFailed || final.Error == "" {
+	if final.State != StateQuarantined || final.Error == "" {
 		t.Fatalf("state = %s, error = %q", final.State, final.Error)
+	}
+	if len(final.Quarantined) == 0 || final.Quarantined[0] < 0 {
+		t.Fatalf("no quarantined shards enumerated: %+v", final)
+	}
+	for _, s := range final.Quarantined {
+		if !strings.Contains(final.Error, fmt.Sprintf("shard %d:", s)) {
+			t.Fatalf("error does not name shard %d: %q", s, final.Error)
+		}
+	}
+	// Healthy shards completed: done + quarantined must cover the job.
+	if final.ShardsDone+len(final.Quarantined) != final.ShardsTotal {
+		t.Fatalf("shards unaccounted for: done=%d quarantined=%d total=%d",
+			final.ShardsDone, len(final.Quarantined), final.ShardsTotal)
+	}
+	if final.ShardsDone == 0 || len(final.Aggregates) == 0 {
+		t.Fatalf("healthy shards lost: %+v", final)
+	}
+	if got := m.counters.shardsQuarantined.Load(); got != int64(len(final.Quarantined)) {
+		t.Fatalf("quarantine counter %d vs %d shards", got, len(final.Quarantined))
+	}
+	if m.counters.shardRetries.Load() == 0 {
+		t.Fatal("no retries recorded before quarantine")
+	}
+
+	// The quarantined verdict (state, error, shard list) survives a
+	// restart without re-running anything.
+	dir := m.opts.StateDir
+	m.Close()
+	m2 := newTestManager(t, Options{StateDir: dir})
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m2.Get(st.ID, true)
+	if !ok || got.State != StateQuarantined {
+		t.Fatalf("after restart: ok=%v state=%s", ok, got.State)
+	}
+	if fmt.Sprint(got.Quarantined) != fmt.Sprint(final.Quarantined) {
+		t.Fatalf("quarantined shards lost across restart: %v vs %v", got.Quarantined, final.Quarantined)
+	}
+	if got.Error != final.Error {
+		t.Fatalf("error lost across restart: %q vs %q", got.Error, final.Error)
 	}
 }
 

@@ -11,13 +11,18 @@ import (
 // /metrics. Per-job gauges are derived from the job table at scrape
 // time rather than stored.
 type counters struct {
-	jobsSubmitted   atomic.Int64
-	jobsRecovered   atomic.Int64
-	jobsResumed     atomic.Int64
-	shardsCompleted atomic.Int64
-	seedsCompleted  atomic.Int64
-	checkpointBytes atomic.Int64
-	httpRequests    atomic.Int64
+	jobsSubmitted        atomic.Int64
+	jobsRecovered        atomic.Int64
+	jobsResumed          atomic.Int64
+	shardsCompleted      atomic.Int64
+	seedsCompleted       atomic.Int64
+	checkpointBytes      atomic.Int64
+	httpRequests         atomic.Int64
+	shardRetries         atomic.Int64
+	shardsQuarantined    atomic.Int64
+	panicsRecovered      atomic.Int64
+	checkpointErrors     atomic.Int64
+	lostDurabilityShards atomic.Int64
 }
 
 // handleMetrics renders the Prometheus text exposition format by hand —
@@ -41,6 +46,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "campaignd_checkpoint_bytes_total %d\n", c.checkpointBytes.Load())
 	fmt.Fprintf(w, "# TYPE campaignd_http_requests_total counter\n")
 	fmt.Fprintf(w, "campaignd_http_requests_total %d\n", c.httpRequests.Load())
+	fmt.Fprintf(w, "# TYPE campaignd_shard_retries_total counter\n")
+	fmt.Fprintf(w, "campaignd_shard_retries_total %d\n", c.shardRetries.Load())
+	fmt.Fprintf(w, "# TYPE campaignd_shards_quarantined counter\n")
+	fmt.Fprintf(w, "campaignd_shards_quarantined %d\n", c.shardsQuarantined.Load())
+	fmt.Fprintf(w, "# TYPE campaignd_panics_recovered_total counter\n")
+	fmt.Fprintf(w, "campaignd_panics_recovered_total %d\n", c.panicsRecovered.Load())
+	fmt.Fprintf(w, "# TYPE campaignd_checkpoint_errors_total counter\n")
+	fmt.Fprintf(w, "campaignd_checkpoint_errors_total %d\n", c.checkpointErrors.Load())
+	fmt.Fprintf(w, "# TYPE campaignd_lost_durability_shards counter\n")
+	fmt.Fprintf(w, "campaignd_lost_durability_shards %d\n", c.lostDurabilityShards.Load())
+
+	h := s.m.Health()
+	fmt.Fprintf(w, "# TYPE campaignd_degraded gauge\n")
+	fmt.Fprintf(w, "campaignd_degraded %d\n", b2i(h.Degraded))
+	fmt.Fprintf(w, "# TYPE campaignd_draining gauge\n")
+	fmt.Fprintf(w, "campaignd_draining %d\n", b2i(h.Draining))
 
 	jobs := s.m.List()
 	byState := make(map[State]int)
@@ -48,7 +69,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		byState[j.State]++
 	}
 	fmt.Fprintf(w, "# TYPE campaignd_jobs gauge\n")
-	for _, st := range []State{StateRunning, StateDone, StateFailed, StateCancelled} {
+	for _, st := range []State{StateRunning, StateDone, StateFailed, StateCancelled, StateQuarantined} {
 		fmt.Fprintf(w, "campaignd_jobs{state=%q} %d\n", st, byState[st])
 	}
 
@@ -66,4 +87,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, j := range jobs {
 		fmt.Fprintf(w, "campaignd_job_seeds_done{job=%q,task=%q} %d\n", j.ID, j.Spec.Task, j.SeedsDone)
 	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

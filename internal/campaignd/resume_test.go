@@ -229,6 +229,118 @@ func TestRecoverRejectsDigestMismatch(t *testing.T) {
 	}
 }
 
+// countShardRecords replays a checkpoint file the dumb way — raw JSONL
+// lines — and returns how many times each shard index was recorded,
+// plus whether a terminal status record is present. Tests use it to
+// prove "zero re-runs" at the file level rather than trusting counters.
+func countShardRecords(t *testing.T, path string) (shards map[int]int, hasStatus bool) {
+	t.Helper()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards = make(map[int]int)
+	for _, line := range strings.Split(strings.TrimRight(string(blob), "\n"), "\n") {
+		var rec struct {
+			Type  string `json:"type"`
+			Shard int    `json:"shard"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("unparseable checkpoint line %q: %v", line, err)
+		}
+		switch rec.Type {
+		case "shard":
+			shards[rec.Shard]++
+		case "status":
+			hasStatus = true
+		}
+	}
+	return shards, hasStatus
+}
+
+// Graceful drain then restart: Drain lets the in-flight shards finish
+// and checkpoint, the restarted daemon resumes from exactly that
+// frontier, and — unlike the hard-kill path, where an uncheckpointed
+// in-flight shard is legitimately re-run — not a single shard is ever
+// executed twice. The final result is byte-identical to an
+// uninterrupted run.
+func TestDrainThenRestartZeroRerun(t *testing.T) {
+	spec := Spec{Task: "campaignd-test-walk", BaseSeed: 808, Seeds: 24, Workers: 2}
+	oneShot, err := campaign.Run(context.Background(), spec.campaignSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultJSON(t, oneShot)
+
+	dir := t.TempDir()
+	m1 := newTestManager(t, Options{StateDir: dir, ShardSize: 2, Throttle: 10 * time.Millisecond})
+	st, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let a few shards land, then drain mid-sweep.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		cur, _ := m1.Get(st.ID, false)
+		if cur.ShardsDone >= 2 {
+			break
+		}
+		if cur.State != StateRunning || time.Now().After(deadline) {
+			t.Fatalf("job reached %s with %d shards before the drain", cur.State, cur.ShardsDone)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !m1.Drain(20 * time.Second) {
+		t.Fatal("drain did not complete cleanly within its deadline")
+	}
+	drained, _ := m1.Get(st.ID, false)
+	if drained.ShardsDone >= drained.ShardsTotal {
+		t.Fatal("job finished before the drain; nothing to resume")
+	}
+	t.Logf("drained with %d/%d shards checkpointed", drained.ShardsDone, drained.ShardsTotal)
+
+	// The file must hold exactly the checkpointed shards, once each, and
+	// no terminal status record (the job is resumable, not failed).
+	path := filepath.Join(dir, st.ID+checkpointExt)
+	before, hasStatus := countShardRecords(t, path)
+	if hasStatus {
+		t.Fatal("drained job wrote a terminal status record")
+	}
+	if len(before) != drained.ShardsDone {
+		t.Fatalf("checkpoint holds %d shards, status says %d", len(before), drained.ShardsDone)
+	}
+	for s, n := range before {
+		if n != 1 {
+			t.Fatalf("shard %d recorded %d times before restart", s, n)
+		}
+	}
+
+	// Restart and resume to completion.
+	m2 := newTestManager(t, Options{StateDir: dir, ShardSize: 2})
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m2, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("resumed job ended %s (%s)", final.State, final.Error)
+	}
+	if got := resultJSON(t, final.Result); got != want {
+		t.Fatalf("drain-resumed result differs from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+
+	// Zero re-runs: every shard index appears exactly once, and the
+	// pre-drain records were not rewritten.
+	after, _ := countShardRecords(t, path)
+	if len(after) != final.ShardsTotal {
+		t.Fatalf("final checkpoint holds %d shards, want %d", len(after), final.ShardsTotal)
+	}
+	for s, n := range after {
+		if n != 1 {
+			t.Fatalf("shard %d recorded %d times — a shard was re-run", s, n)
+		}
+	}
+}
+
 // Recover must rebuild completed jobs (result included) without
 // re-running anything, and ignore files that are not checkpoints.
 func TestRecoverCompletedJob(t *testing.T) {

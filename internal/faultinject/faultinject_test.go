@@ -1,0 +1,176 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// disarm guarantees a test leaves the global injector clean.
+func disarm(t *testing.T) {
+	t.Helper()
+	t.Cleanup(Disable)
+}
+
+func TestDisabledFireIsNil(t *testing.T) {
+	disarm(t)
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled after Disable")
+	}
+	for i := 0; i < 100; i++ {
+		if err := Fire("checkpoint.append"); err != nil {
+			t.Fatalf("disabled Fire returned %v", err)
+		}
+	}
+	if Stats() != nil || Points() != nil {
+		t.Fatal("disabled injector reported state")
+	}
+}
+
+func TestUnplannedPointNeverFaults(t *testing.T) {
+	disarm(t)
+	if err := Enable(Plan{Seed: 1, Rules: []Rule{{Point: "shard.run", PErr: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := Fire("http.accept"); err != nil {
+			t.Fatalf("unplanned point fired: %v", err)
+		}
+	}
+	if err := Fire("shard.run"); err == nil {
+		t.Fatal("planned PErr=1 point did not fire")
+	}
+}
+
+// The contract of the package: the fault schedule of a point is a pure
+// function of (seed, point, invocation index).
+func TestScheduleIsDeterministicPerSeed(t *testing.T) {
+	disarm(t)
+	plan := Plan{Seed: 42, Rules: []Rule{{Point: "shard.run", PErr: 0.3, PDelay: 0.2, Delay: time.Microsecond}}}
+	run := func() []bool {
+		if err := Enable(plan); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = Fire("shard.run") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("invocation %d: schedules differ across re-arms of the same plan", i)
+		}
+	}
+	// A different seed must yield a different schedule (overwhelmingly).
+	plan.Seed = 43
+	c := run()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 200-invocation schedules")
+	}
+}
+
+func TestErrorFaultWrapsSentinel(t *testing.T) {
+	disarm(t)
+	if err := Enable(Plan{Seed: 7, Rules: []Rule{{Point: "p", PErr: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	err := Fire("p")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error %v does not wrap ErrInjected", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Point != "p" || fe.N != 0 {
+		t.Fatalf("unexpected fault payload: %+v", fe)
+	}
+}
+
+func TestPanicFaultPanicsWithError(t *testing.T) {
+	disarm(t)
+	if err := Enable(Plan{Seed: 9, Rules: []Rule{{Point: "p", PPanic: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("PPanic=1 did not panic")
+		}
+		if fe, ok := r.(*Error); !ok || fe.Point != "p" {
+			t.Fatalf("panic value %v (%T)", r, r)
+		}
+	}()
+	Fire("p")
+}
+
+func TestAfterAndLimitWindows(t *testing.T) {
+	disarm(t)
+	if err := Enable(Plan{Seed: 3, Rules: []Rule{{Point: "p", PErr: 1, After: 5, Limit: 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 20; i++ {
+		if err := Fire("p"); err != nil {
+			if i < 5 {
+				t.Fatalf("fired inside the After window at invocation %d", i)
+			}
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("Limit=2 fired %d times", fired)
+	}
+	st := Stats()["p"]
+	if st.Invocations != 20 || st.Errors != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEnableRejectsMalformedRules(t *testing.T) {
+	disarm(t)
+	bad := []Plan{
+		{Rules: []Rule{{Point: ""}}},
+		{Rules: []Rule{{Point: "p", PErr: -0.1}}},
+		{Rules: []Rule{{Point: "p", PErr: 0.6, PPanic: 0.6}}},
+		{Rules: []Rule{{Point: "p", PDelay: 0.5}}}, // no Delay
+		{Rules: []Rule{{Point: "p", PErr: 0.1}, {Point: "p", PErr: 0.2}}},
+	}
+	for i, p := range bad {
+		if err := Enable(p); err == nil {
+			t.Fatalf("plan %d was accepted", i)
+		}
+	}
+	if Enabled() {
+		t.Fatal("rejected plan left injector armed")
+	}
+}
+
+func TestDelayFaultSleeps(t *testing.T) {
+	disarm(t)
+	if err := Enable(Plan{Seed: 5, Rules: []Rule{{Point: "p", PDelay: 1, Delay: 2 * time.Millisecond}}}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := Fire("p"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if time.Since(start) == 0 {
+		t.Fatal("PDelay=1 slept for no measurable time")
+	}
+	if st := Stats()["p"]; st.Delays != 5 {
+		t.Fatalf("delays = %d", st.Delays)
+	}
+	if pts := Points(); len(pts) != 1 || pts[0] != "p" {
+		t.Fatalf("points = %v", pts)
+	}
+}
