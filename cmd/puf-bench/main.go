@@ -16,10 +16,14 @@
 // transcripts match the historical goldens.
 //
 // With -json the tool instead benchmarks the five end-to-end attacks
-// (the oracle-query hot path) via testing.Benchmark and writes a
-// machine-readable perf artifact — benchmark name → ns/op, allocs/op,
-// B/op and oracle-queries — so the repository accumulates a perf
-// trajectory across PRs instead of anecdotes. Each benchmark runs
+// (the oracle-query hot path) plus three fleet-scale throughput
+// workloads — FleetSweep (batched SoA measurement kernel, reported as
+// fleet_devices_per_sec), PerDeviceSweep (the per-device loop it
+// replaces, devices_per_sec) and CampaignAttacks (a pooled attack
+// campaign, attacks_per_sec_per_core) — via testing.Benchmark and
+// writes a machine-readable perf artifact — benchmark name → ns/op,
+// allocs/op, B/op and oracle-queries — so the repository accumulates a
+// perf trajectory across PRs instead of anecdotes. Each benchmark runs
 // -count times (default 5) and the artifact records per-field medians,
 // so a noisy neighbor on the measurement host cannot contaminate the
 // committed numbers. With -baseline the run additionally compares
@@ -46,7 +50,9 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/rng"
 	"repro/internal/silicon"
 	"repro/internal/transcript"
 )
@@ -422,13 +428,26 @@ func runR1(cfg benchConfig) error {
 	return nil
 }
 
-// BenchRecord is one entry of the BENCH_attacks.json artifact.
+// BenchRecord is one entry of the BENCH_attacks.json artifact. The
+// throughput fields are derived from the median ns/op after reduction,
+// so they carry no extra noise; each is populated only on the record it
+// describes (omitempty keeps the attack records unchanged).
 type BenchRecord struct {
 	NsPerOp       int64   `json:"ns_per_op"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	OracleQueries float64 `json:"oracle_queries"`
 	Iterations    int     `json:"iterations"`
+	// FleetDevicesPerSec: devices measured per second by the batched
+	// SoA fleet kernel (FleetSweep record).
+	FleetDevicesPerSec float64 `json:"fleet_devices_per_sec,omitempty"`
+	// DevicesPerSec: the same workload through the single-device
+	// enroll-and-measure path (PerDeviceSweep record) — the denominator
+	// of the fleet speedup.
+	DevicesPerSec float64 `json:"devices_per_sec,omitempty"`
+	// AttacksPerSecPerCore: end-to-end pooled attack campaign
+	// throughput, normalized by core count (CampaignAttacks record).
+	AttacksPerSecPerCore float64 `json:"attacks_per_sec_per_core,omitempty"`
 }
 
 // medianInt64 returns the median of xs (lower-middle for even counts),
@@ -508,6 +527,21 @@ func checkBaseline(artifact map[string]BenchRecord, path string, nsGatePct float
 			name, b.AllocsPerOp, cur.AllocsPerOp, allocLimit, status,
 			b.NsPerOp, cur.NsPerOp, nsDelta, nsStatus)
 	}
+	// Forward compatibility: a benchmark present in this run but absent
+	// from the committed baseline is informational, never a failure —
+	// new benchmarks land in the same PR that adds them, before any
+	// baseline that knows their names exists.
+	fresh := make([]string, 0)
+	for name := range artifact {
+		if _, ok := base[name]; !ok {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		cur := artifact[name]
+		fmt.Printf("%-18s NEW (no baseline) %d ns/op %d allocs/op\n", name, cur.NsPerOp, cur.AllocsPerOp)
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("regressed beyond the baseline %s: %v", path, failures)
 	}
@@ -545,6 +579,57 @@ func runJSONBench(cfg benchConfig) error {
 			}
 		}
 	}
+	// Fleet throughput pair: the batched SoA kernel vs the per-device
+	// loop it replaces, on identical 256-device × 8x16 workloads with a
+	// 50 µs counter window. Both run counter noise regardless of -noise:
+	// the fleet kernel exists only for that model.
+	const fleetDevices = 256
+	fleetCfg := silicon.DefaultConfig(8, 16)
+	fleetCfg.Noise = silicon.NoiseCounter
+	fleetCfg.CounterWindowUS = 50
+	fleetSeeds := make([]uint64, fleetDevices)
+	for d := range fleetSeeds {
+		fleetSeeds[d] = rng.StreamSeed(seed, uint64(d))
+	}
+	benchFleetSweep := func(b *testing.B) {
+		fleet := silicon.NewFleet(fleetCfg, fleetSeeds)
+		dst := make([]float64, fleet.Devices()*fleet.NumOsc())
+		env := fleetCfg.NominalEnv()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fleet.MeasureFleetInto(dst, env)
+		}
+	}
+	benchPerDeviceSweep := func(b *testing.B) {
+		env := fleetCfg.NominalEnv()
+		dst := make([]float64, fleetCfg.Rows*fleetCfg.Cols)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for d := 0; d < fleetDevices; d++ {
+				src := rng.New(fleetSeeds[d])
+				arr := silicon.NewArray(fleetCfg, src)
+				nm := arr.NewNoise(src)
+				arr.MeasureIntoWith(dst, env, nm)
+			}
+		}
+	}
+	// CampaignAttacks: one op = a pooled seqpair-attack campaign over
+	// campaignSeeds device populations on every core — the fleet-scale
+	// end-to-end number the per-core throughput field derives from.
+	const campaignSeeds = 16
+	benchCampaign := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := campaign.Run(ctx, campaign.Spec{
+				Task: "seqpair-attack", BaseSeed: seed, Seeds: campaignSeeds,
+				Options: campaign.Options{Noise: noise.String()},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 	benches := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -554,6 +639,9 @@ func runJSONBench(cfg benchConfig) error {
 		{"AttackGroupBased", benchAttack("groupbased", 9)},
 		{"AttackMasking", benchAttack("masking", 11)},
 		{"AttackChain", benchAttack("chain", 13)},
+		{"FleetSweep", benchFleetSweep},
+		{"PerDeviceSweep", benchPerDeviceSweep},
+		{"CampaignAttacks", benchCampaign},
 	}
 	fmt.Printf("noise model: %s\n", noise)
 	artifact := make(map[string]BenchRecord, len(benches))
@@ -575,6 +663,18 @@ func runJSONBench(cfg benchConfig) error {
 			})
 		}
 		rec := medianRecord(recs)
+		// Throughput fields derive from the median ns/op so they inherit
+		// its noise rejection instead of adding a second noisy estimate.
+		if rec.NsPerOp > 0 {
+			switch bench.name {
+			case "FleetSweep":
+				rec.FleetDevicesPerSec = fleetDevices * 1e9 / float64(rec.NsPerOp)
+			case "PerDeviceSweep":
+				rec.DevicesPerSec = fleetDevices * 1e9 / float64(rec.NsPerOp)
+			case "CampaignAttacks":
+				rec.AttacksPerSecPerCore = campaignSeeds * 1e9 / float64(rec.NsPerOp) / float64(runtime.NumCPU())
+			}
+		}
 		artifact[bench.name] = rec
 		fmt.Printf("%-18s %12d ns/op %10d allocs/op %10d B/op %8.0f oracle-queries (median of %d)\n",
 			bench.name, rec.NsPerOp, rec.AllocsPerOp, rec.BytesPerOp, rec.OracleQueries, count)

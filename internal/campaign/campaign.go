@@ -40,6 +40,13 @@ type Options struct {
 	// tasks should enroll their devices under ("stream" or "counter";
 	// empty = the task default, stream).
 	Noise string
+	// Pool is the worker-confined reuse cache for expensive task state
+	// (enrolled devices, attack scratch). Run installs one per worker
+	// automatically; direct task.Run callers that execute tasks
+	// sequentially (campaignd's shard loop) install their own. Nil is
+	// always valid and means "build everything fresh". Never serialized:
+	// it is engine plumbing, not campaign configuration.
+	Pool *Pool `json:"-"`
 }
 
 // Task is one registered experiment entry point behind the uniform
@@ -237,6 +244,16 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 // index had already been fed, the run completes as if never drained. A
 // nil drain channel makes ForEachDrain exactly ForEach.
 func ForEachDrain(ctx context.Context, drain <-chan struct{}, n, workers int, fn func(ctx context.Context, i int) error) error {
+	return forEachWorkers(ctx, drain, n, workers, func(ctx context.Context, _, i int) error {
+		return fn(ctx, i)
+	})
+}
+
+// forEachWorkers is the pool primitive under ForEachDrain: identical
+// semantics, but fn additionally receives the stable index of the
+// worker goroutine running it — the hook Run uses to hand each worker
+// its own reuse Pool without sharing state across goroutines.
+func forEachWorkers(ctx context.Context, drain <-chan struct{}, n, workers int, fn func(ctx context.Context, worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -254,18 +271,18 @@ func ForEachDrain(ctx context.Context, drain <-chan struct{}, n, workers int, fn
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
 				if poolCtx.Err() != nil {
 					return
 				}
-				if err := Call(func() error { return fn(poolCtx, i) }); err != nil {
+				if err := Call(func() error { return fn(poolCtx, w, i) }); err != nil {
 					errs[i] = err
 					cancel()
 				}
 			}
-		}()
+		}(w)
 	}
 	fed := 0
 feed:
@@ -324,10 +341,22 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		partial = NewPartial(task.Binary)
 	}
 
+	// One reuse pool per worker goroutine (lazily built: the slice is
+	// sized for the normalized worker count, forEachWorkers never runs
+	// more). A caller-supplied Options.Pool wins — campaigns embedded in
+	// a larger pooled context (a daemon shard loop) keep their own.
+	pools := make([]*Pool, spec.Workers)
 	outcomes := make([]Outcome, spec.Seeds)
-	err := ForEach(ctx, spec.Seeds, spec.Workers, func(taskCtx context.Context, i int) error {
+	err := forEachWorkers(ctx, nil, spec.Seeds, spec.Workers, func(taskCtx context.Context, w, i int) error {
+		opt := spec.Options
+		if opt.Pool == nil {
+			if pools[w] == nil {
+				pools[w] = NewPool()
+			}
+			opt.Pool = pools[w]
+		}
 		seed := rng.StreamSeed(spec.BaseSeed, uint64(i))
-		m, err := task.Run(taskCtx, seed, spec.Options)
+		m, err := task.Run(taskCtx, seed, opt)
 		if err != nil {
 			return fmt.Errorf("%s seed %#x: %w", task.Name, seed, err)
 		}

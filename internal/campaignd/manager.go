@@ -571,7 +571,13 @@ func (m *Manager) runShard(ctx context.Context, j *job, s int) ([]campaign.Outco
 	}
 	from, to := shardBounds(s, j.spec.Seeds, j.spec.ShardSize)
 	outs := make([]campaign.Outcome, 0, to-from)
-	opts := campaign.Options{Noise: j.spec.Noise}
+	// A fresh device pool per shard attempt: seeds within the shard run
+	// sequentially on this goroutine and reuse enrolled-device state,
+	// while a retried attempt starts clean — pooled state never leaks
+	// across a panic or error into the retry (task outputs are
+	// pool-independent by contract, so results stay byte-identical to a
+	// one-shot campaign.Run).
+	opts := campaign.Options{Noise: j.spec.Noise, Pool: campaign.NewPool()}
 	for i := from; i < to; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err

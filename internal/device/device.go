@@ -53,6 +53,15 @@ type base struct {
 
 func (b *base) Queries() int { return int(b.queries.Load()) }
 
+// reset returns the bookkeeping to freshly-enrolled state for the
+// device-pool reuse path. Field-by-field: base embeds an atomic counter
+// and must not be copied as a value.
+func (b *base) reset(env silicon.Environment) {
+	b.env = env
+	b.queries.Store(0)
+	b.nvmGen = 0
+}
+
 // addQuery records one oracle query.
 func (b *base) addQuery() { b.queries.Add(1) }
 

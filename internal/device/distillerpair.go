@@ -190,12 +190,24 @@ func (d *DistillerPairDevice) refreshScratch() {
 
 // EnrollDistillerPair manufactures and enrolls a device.
 func EnrollDistillerPair(p DistillerPairParams, srcMfg, srcRun *rng.Source) (*DistillerPairDevice, error) {
+	return EnrollDistillerPairReuse(nil, p, srcMfg, srcRun)
+}
+
+// EnrollDistillerPairReuse is EnrollDistillerPair adopting a previously
+// enrolled device's backing storage (see EnrollSeqPairReuse for the
+// device-pool contract): bit-identical to a fresh enrollment, prev may
+// be nil, and prev must be discarded by the caller — even on error.
+func EnrollDistillerPairReuse(prev *DistillerPairDevice, p DistillerPairParams, srcMfg, srcRun *rng.Source) (*DistillerPairDevice, error) {
 	if p.Code == nil || p.EnrollReps < 1 {
 		return nil, fmt.Errorf("device: invalid distiller-pair params")
 	}
 	cfg := silicon.DefaultConfig(p.Rows, p.Cols)
 	cfg.Noise = p.Noise
-	arr := silicon.NewArray(cfg, srcMfg)
+	var prevArr *silicon.Array
+	if prev != nil {
+		prevArr = prev.arr
+	}
+	arr := prevArr.Remanufactured(cfg, srcMfg)
 	env := arr.Config().NominalEnv()
 	noise := arr.NewNoise(srcRun)
 	f := arr.MeasureAveragedWith(env, noise, p.EnrollReps)
@@ -205,23 +217,35 @@ func EnrollDistillerPair(p DistillerPairParams, srcMfg, srcRun *rng.Source) (*Di
 	}
 	resid := distiller.Distill(p.Rows, p.Cols, f, poly)
 
-	d := &DistillerPairDevice{
-		base:   base{env: env},
-		arr:    arr,
-		params: p,
-		src:    srcRun,
-		noise:  noise,
+	d := prev
+	if d == nil {
+		d = &DistillerPairDevice{}
 	}
+	// basePair is fixed by the architecture (geometry and mode), not by
+	// the silicon instance — keep prev's list when those match. The
+	// comparison is field-wise: params holds an ecc.Code interface whose
+	// dynamic type need not be comparable.
+	sameBase := prev != nil && d.basePair != nil &&
+		d.params.Rows == p.Rows && d.params.Cols == p.Cols && d.params.Mode == p.Mode
+	d.base.reset(env)
+	d.arr = arr
+	d.params = p
+	d.src = srcRun
+	d.noise = noise
 	var mask pairing.MaskingHelper
 	switch p.Mode {
 	case MaskedChain:
-		d.basePair = pairing.ChainPairs(p.Rows, p.Cols, true)
+		if !sameBase {
+			d.basePair = pairing.ChainPairs(p.Rows, p.Cols, true)
+		}
 		mask, err = pairing.EnrollMasking(resid, d.basePair, p.K)
 		if err != nil {
 			return nil, err
 		}
 	case OverlappingChain:
-		d.basePair = pairing.ChainPairs(p.Rows, p.Cols, false)
+		if !sameBase {
+			d.basePair = pairing.ChainPairs(p.Rows, p.Cols, false)
+		}
 	default:
 		return nil, fmt.Errorf("device: unknown pairing mode %v", p.Mode)
 	}
@@ -235,6 +259,8 @@ func EnrollDistillerPair(p DistillerPairParams, srcMfg, srcRun *rng.Source) (*Di
 	d.nvm = DistillerPairHelperNVM{Poly: poly, Masking: mask, Offset: off.W}
 	d.enrolled = resp
 	d.bound = resp
+	d.scratch.helperValid = false
+	d.scratch.bases.Invalidate()
 	return d, nil
 }
 

@@ -44,24 +44,40 @@ type GroupBasedDevice struct {
 
 // EnrollGroupBased manufactures and enrolls a device.
 func EnrollGroupBased(p groupbased.Params, srcMfg, srcRun *rng.Source) (*GroupBasedDevice, error) {
+	return EnrollGroupBasedReuse(nil, p, srcMfg, srcRun)
+}
+
+// EnrollGroupBasedReuse is EnrollGroupBased adopting a previously
+// enrolled device's backing storage (see EnrollSeqPairReuse for the
+// device-pool contract): bit-identical to a fresh enrollment, prev may
+// be nil, and prev must be discarded by the caller — even on error.
+func EnrollGroupBasedReuse(prev *GroupBasedDevice, p groupbased.Params, srcMfg, srcRun *rng.Source) (*GroupBasedDevice, error) {
 	cfg := silicon.DefaultConfig(p.Rows, p.Cols)
 	cfg.Noise = p.Noise
-	arr := silicon.NewArray(cfg, srcMfg)
+	var prevArr *silicon.Array
+	if prev != nil {
+		prevArr = prev.arr
+	}
+	arr := prevArr.Remanufactured(cfg, srcMfg)
 	noise := arr.NewNoise(srcRun)
 	h, key, err := groupbased.EnrollWith(arr, p, srcRun, noise)
 	if err != nil {
 		return nil, err
 	}
-	return &GroupBasedDevice{
-		base:     base{env: arr.Config().NominalEnv()},
-		arr:      arr,
-		params:   p,
-		nvm:      h,
-		enrolled: key,
-		bound:    key,
-		src:      srcRun,
-		noise:    noise,
-	}, nil
+	d := prev
+	if d == nil {
+		d = &GroupBasedDevice{}
+	}
+	d.base.reset(arr.Config().NominalEnv())
+	d.arr = arr
+	d.params = p
+	d.nvm = h
+	d.enrolled = key
+	d.bound = key
+	d.src = srcRun
+	d.noise = noise
+	d.scratch.InvalidateSilicon()
+	return d, nil
 }
 
 // ReadHelper returns a deep copy of the helper NVM.

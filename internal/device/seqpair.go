@@ -104,12 +104,28 @@ func (d *SeqPairDevice) refreshScratch() {
 // manufacturing variability, srcRun drives enrollment noise, helper
 // randomization and all subsequent reconstruction noise.
 func EnrollSeqPair(p SeqPairParams, srcMfg, srcRun *rng.Source) (*SeqPairDevice, error) {
+	return EnrollSeqPairReuse(nil, p, srcMfg, srcRun)
+}
+
+// EnrollSeqPairReuse is EnrollSeqPair adopting a previously enrolled
+// device's backing storage: the device struct, its silicon component
+// buffers (Array.Remanufactured), and the warm scratch capacity are
+// reused in place of fresh allocations — the campaign device-pool path.
+// The result is bit-identical to a fresh EnrollSeqPair on the same
+// sources. prev may be nil (a fresh enrollment); prev must not be used
+// again by the caller — on error it is left mid-remanufacture and must
+// be discarded, not reused.
+func EnrollSeqPairReuse(prev *SeqPairDevice, p SeqPairParams, srcMfg, srcRun *rng.Source) (*SeqPairDevice, error) {
 	if p.Code == nil || p.EnrollReps < 1 {
 		return nil, fmt.Errorf("device: invalid seqpair params %+v", p)
 	}
 	cfg := silicon.DefaultConfig(p.Rows, p.Cols)
 	cfg.Noise = p.Noise
-	arr := silicon.NewArray(cfg, srcMfg)
+	var prevArr *silicon.Array
+	if prev != nil {
+		prevArr = prev.arr
+	}
+	arr := prevArr.Remanufactured(cfg, srcMfg)
 	env := arr.Config().NominalEnv()
 	noise := arr.NewNoise(srcRun)
 	f := arr.MeasureAveragedWith(env, noise, p.EnrollReps)
@@ -121,15 +137,23 @@ func EnrollSeqPair(p SeqPairParams, srcMfg, srcRun *rng.Source) (*SeqPairDevice,
 	padded, blocks := padToBlocks(resp, p.Code)
 	block := ecc.NewBlock(p.Code, blocks)
 	off := ecc.EnrollOffset(block, padded, srcRun)
-	d := &SeqPairDevice{
-		base:   base{env: env},
-		arr:    arr,
-		params: p,
-		nvm:    SeqPairHelperNVM{Pairs: helper, Offset: off.W},
-		key:    resp,
-		src:    srcRun,
-		noise:  noise,
+	d := prev
+	if d == nil {
+		d = &SeqPairDevice{}
 	}
+	d.base.reset(env)
+	d.arr = arr
+	d.params = p
+	d.nvm = SeqPairHelperNVM{Pairs: helper, Offset: off.W}
+	d.key = resp
+	d.src = srcRun
+	d.noise = noise
+	// The remanufactured array lives at the same pointer, so the
+	// env+length check of the scratch's BaseCache cannot detect the
+	// content change — invalidate explicitly along with the
+	// helper-derived caches.
+	d.scratch.helperValid = false
+	d.scratch.bases.Invalidate()
 	return d, nil
 }
 

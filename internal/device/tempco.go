@@ -31,24 +31,40 @@ type TempCoDevice struct {
 // non-trivial, mirroring the operating conditions the HOST 2009 proposal
 // targets.
 func EnrollTempCo(p tempco.Params, srcMfg, srcRun *rng.Source) (*TempCoDevice, error) {
+	return EnrollTempCoReuse(nil, p, srcMfg, srcRun)
+}
+
+// EnrollTempCoReuse is EnrollTempCo adopting a previously enrolled
+// device's backing storage (see EnrollSeqPairReuse for the device-pool
+// contract): bit-identical to a fresh enrollment, prev may be nil, and
+// prev must be discarded by the caller — even on error.
+func EnrollTempCoReuse(prev *TempCoDevice, p tempco.Params, srcMfg, srcRun *rng.Source) (*TempCoDevice, error) {
 	cfg := silicon.DefaultConfig(p.Rows, p.Cols)
 	cfg.TempCoefSigmaMHzPerC = 0.03
 	cfg.Noise = p.Noise
-	arr := silicon.NewArray(cfg, srcMfg)
+	var prevArr *silicon.Array
+	if prev != nil {
+		prevArr = prev.arr
+	}
+	arr := prevArr.Remanufactured(cfg, srcMfg)
 	noise := arr.NewNoise(srcRun)
 	h, key, err := tempco.EnrollWith(arr, p, srcRun, noise)
 	if err != nil {
 		return nil, err
 	}
-	return &TempCoDevice{
-		base:   base{env: cfg.NominalEnv()},
-		arr:    arr,
-		params: p,
-		nvm:    h,
-		key:    key,
-		src:    srcRun,
-		noise:  noise,
-	}, nil
+	d := prev
+	if d == nil {
+		d = &TempCoDevice{}
+	}
+	d.base.reset(cfg.NominalEnv())
+	d.arr = arr
+	d.params = p
+	d.nvm = h
+	d.key = key
+	d.src = srcRun
+	d.noise = noise
+	d.scratch.InvalidateSilicon()
+	return d, nil
 }
 
 // ReadHelper returns a deep copy of the helper NVM.

@@ -253,6 +253,21 @@ func RunAttack(ctx context.Context, spec transcript.Spec) (transcript.Transcript
 	return transcript.Run(ctx, spec)
 }
 
+// RunAttackPooled is RunAttack with a campaign device pool: enrollment
+// scratch (device carcass, ECC code tables) is adopted from the pool
+// slot keyed by the spec's enrollment fingerprint and returned to it
+// afterwards. A nil pool degrades to RunAttack. Transcripts are
+// bit-identical either way — the pool only recycles allocations.
+func RunAttackPooled(ctx context.Context, spec transcript.Spec, pool *campaign.Pool) (transcript.Transcript, error) {
+	// A typed-nil *campaign.Pool must not become a non-nil Cache
+	// interface, or transcript.RunWith would call methods on it.
+	var cache transcript.Cache
+	if pool != nil {
+		cache = pool
+	}
+	return transcript.RunWith(ctx, spec, cache)
+}
+
 // --------------------------------------------------------------- E11 --
 
 // EntropyRow is the entropy accounting at one grouping threshold.
@@ -606,16 +621,18 @@ type seedAttackOutcome struct {
 // attackAllOnSeed runs every attack against devices manufactured from
 // one seed under the given noise model. It is a pure function of
 // (seed, noise) and therefore safe to evaluate from any worker in any
-// order.
-func attackAllOnSeed(ctx context.Context, s uint64, noise silicon.NoiseModelKind) (seedAttackOutcome, error) {
+// order; the pool (nil OK) only recycles enrollment scratch and never
+// changes the outcome. One seed touches five distinct enrollment
+// fingerprints, so a shared worker pool holds five slots.
+func attackAllOnSeed(ctx context.Context, s uint64, noise silicon.NoiseModelKind, pool *campaign.Pool) (seedAttackOutcome, error) {
 	var o seedAttackOutcome
 	run := func(name string) (transcript.Transcript, error) {
-		tr, err := RunAttack(ctx, transcript.Spec{
+		tr, err := RunAttackPooled(ctx, transcript.Spec{
 			Attack:    name,
 			Seed:      s,
 			Noise:     noise.String(),
 			Expurgate: name == "seqpair",
-		})
+		}, pool)
 		if err != nil {
 			return tr, fmt.Errorf("%s seed %d: %w", name, s, err)
 		}
@@ -671,7 +688,7 @@ func MeasureAttackSuccessNoise(ctx context.Context, base uint64, seeds, workers 
 	r.Seeds = seeds
 	outcomes := make([]seedAttackOutcome, seeds)
 	err := campaign.ForEach(ctx, seeds, workers, func(taskCtx context.Context, i int) error {
-		o, err := attackAllOnSeed(taskCtx, base+uint64(i)*101, noise)
+		o, err := attackAllOnSeed(taskCtx, base+uint64(i)*101, noise, nil)
 		if err != nil {
 			return err
 		}

@@ -59,7 +59,7 @@ func TestCampaignNoiseOptionRejectsUnknown(t *testing.T) {
 // TestRunAttacksCounterRecover is the end-to-end counter-mode soundness
 // check across all five attacks on one device population.
 func TestRunAttacksCounterRecover(t *testing.T) {
-	o, err := attackAllOnSeed(context.Background(), 3, silicon.NoiseCounter)
+	o, err := attackAllOnSeed(context.Background(), 3, silicon.NoiseCounter, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,8 +10,10 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/campaign"
+	"repro/internal/rng"
 	"repro/internal/silicon"
 	"repro/internal/transcript"
 )
@@ -95,7 +97,7 @@ func init() {
 		Name: "groupbased-attack", Desc: "§VI-C group-based key recovery", Figure: "Fig. 6a",
 		Binary: []string{"recovered"},
 		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
-			r, err := RunAttack(ctx, transcript.Spec{Attack: "groupbased", Seed: seed, Noise: opt.Noise})
+			r, err := RunAttackPooled(ctx, transcript.Spec{Attack: "groupbased", Seed: seed, Noise: opt.Noise}, opt.Pool)
 			if err != nil {
 				return nil, err
 			}
@@ -113,7 +115,7 @@ func init() {
 		Name: "masking-attack", Desc: "§VI-D distiller + 1-out-of-5 masking key recovery", Figure: "Fig. 6b",
 		Binary: []string{"recovered"},
 		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
-			r, err := RunAttack(ctx, transcript.Spec{Attack: "masking", Seed: seed, Noise: opt.Noise})
+			r, err := RunAttackPooled(ctx, transcript.Spec{Attack: "masking", Seed: seed, Noise: opt.Noise}, opt.Pool)
 			if err != nil {
 				return nil, err
 			}
@@ -130,7 +132,7 @@ func init() {
 		Name: "chain-attack", Desc: "§VI-D distiller + overlapping chain key recovery", Figure: "Fig. 6c",
 		Binary: []string{"recovered"},
 		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
-			r, err := RunAttack(ctx, transcript.Spec{Attack: "chain", Seed: seed, Noise: opt.Noise})
+			r, err := RunAttackPooled(ctx, transcript.Spec{Attack: "chain", Seed: seed, Noise: opt.Noise}, opt.Pool)
 			if err != nil {
 				return nil, err
 			}
@@ -147,9 +149,9 @@ func init() {
 		Name: "seqpair-attack", Desc: "§VI-A sequential-pairing (LISA) key recovery, expurgated code", Figure: "§VI-A",
 		Binary: []string{"recovered", "up-to-complement", "ambiguous"},
 		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
-			r, err := RunAttack(ctx, transcript.Spec{
+			r, err := RunAttackPooled(ctx, transcript.Spec{
 				Attack: "seqpair", Seed: seed, Noise: opt.Noise, Expurgate: true,
-			})
+			}, opt.Pool)
 			if err != nil {
 				return nil, err
 			}
@@ -166,7 +168,7 @@ func init() {
 	campaign.Register(campaign.Task{
 		Name: "tempco-attack", Desc: "§VI-B temperature-aware relation recovery", Figure: "§VI-B",
 		Run: func(ctx context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
-			r, err := RunAttack(ctx, transcript.Spec{Attack: "tempco", Seed: seed, Noise: opt.Noise})
+			r, err := RunAttackPooled(ctx, transcript.Spec{Attack: "tempco", Seed: seed, Noise: opt.Noise}, opt.Pool)
 			if err != nil {
 				return nil, err
 			}
@@ -277,7 +279,7 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			o, err := attackAllOnSeed(ctx, seed, noise)
+			o, err := attackAllOnSeed(ctx, seed, noise, opt.Pool)
 			if err != nil {
 				return nil, err
 			}
@@ -291,6 +293,62 @@ func init() {
 				m["tempco-relation-accuracy"] = float64(o.relRight) / float64(o.relFound)
 			}
 			return m, nil
+		},
+	})
+
+	campaign.Register(campaign.Task{
+		Name: "fleet-sweep", Desc: "SoA fleet measurement: 64 counter-noise devices, interleaved env sweeps",
+		Run: func(_ context.Context, seed uint64, opt campaign.Options) (campaign.Metrics, error) {
+			const devices, sweeps = 64, 8
+			cfg := silicon.DefaultConfig(8, 16)
+			cfg.Noise = silicon.NoiseCounter
+			seeds := make([]uint64, devices)
+			for d := range seeds {
+				seeds[d] = rng.StreamSeed(seed, uint64(d))
+			}
+			fleet := silicon.NewFleet(cfg, seeds)
+			// The measurement matrix is seed-independent scratch; reuse it
+			// across the worker's task instances when a pool is installed.
+			rows := devices * fleet.NumOsc()
+			dst, _ := opt.Pool.Get("fleet-sweep:scratch", func() any {
+				return make([]float64, rows)
+			}).([]float64)
+			if len(dst) != rows {
+				dst = make([]float64, rows)
+			}
+			envs := [2]silicon.Environment{cfg.NominalEnv(), {TempC: 80, VoltageV: 1.1}}
+			var sum [2]float64
+			for s := 0; s < sweeps; s++ {
+				fleet.MeasureFleetInto(dst, envs[s%2])
+				for _, f := range dst {
+					sum[s%2] += f
+				}
+			}
+			perEnv := float64(sweeps / 2 * rows)
+			meanNom := sum[0] / perEnv
+			meanHot := sum[1] / perEnv
+			// Device-to-device spread of per-device means on one final
+			// nominal sweep — the fleet-level process-variation figure.
+			fleet.MeasureFleetInto(dst, envs[0])
+			n := fleet.NumOsc()
+			var acc, acc2 float64
+			for d := 0; d < devices; d++ {
+				var dm float64
+				for _, f := range dst[d*n : (d+1)*n] {
+					dm += f
+				}
+				dm /= float64(n)
+				acc += dm
+				acc2 += dm * dm
+			}
+			mean := acc / devices
+			return campaign.Metrics{
+				"devices":           devices,
+				"sweeps":            float64(fleet.Sweep()),
+				"mean-MHz":          meanNom,
+				"hot-shift-MHz":     meanHot - meanNom,
+				"device-spread-MHz": math.Sqrt(acc2/devices - mean*mean),
+			}, nil
 		},
 	})
 }

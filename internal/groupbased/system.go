@@ -281,6 +281,17 @@ type Scratch struct {
 // revalidates and rebuilds them.
 func (sc *Scratch) Invalidate() { sc.helperValid = false }
 
+// InvalidateSilicon additionally drops the caches derived from the
+// silicon array's contents (the noise-free frequency vectors). Required
+// on the device-pool path, where Array.Remanufactured changes the
+// array's contents under the same pointer; buffer capacity and the
+// helper-content fingerprints are kept (those are pure functions of
+// helper content, not of the silicon).
+func (sc *Scratch) InvalidateSilicon() {
+	sc.helperValid = false
+	sc.bases.Invalidate()
+}
+
 // refresh (re)builds the helper-derived caches, mirroring the structural
 // validation order of the legacy Reconstruct so failure modes and their
 // errors are unchanged.

@@ -43,19 +43,94 @@ func TestBlockNormPairHalves(t *testing.T) {
 	}
 }
 
-// TestBlockSweepFillNormMatchesScalar pins the bulk fill to the scalar
-// definition.
+// TestBlockSweepFillNormMatchesScalar pins every bulk fill path — dense
+// FillNorm, offset FillNormAt, and multi-chain FillNormRows — to the
+// scalar Norm definition, as a property test over lengths, start
+// offsets (even and odd, including ones that straddle the polar-block
+// pairing at every alignment), and splits of one logical fill into
+// adjacent offset fills.
 func TestBlockSweepFillNormMatchesScalar(t *testing.T) {
-	for _, n := range []int{0, 1, 2, 7, 64, 129} {
-		sw := NewBlockSweep(11, 4)
-		dst := make([]float64, n)
-		sw.FillNorm(dst)
-		for i, got := range dst {
-			if want := sw.Norm(uint64(i)); got != want {
-				t.Fatalf("n=%d: FillNorm[%d] = %v, Norm = %v", n, i, got, want)
+	lengths := []int{0, 1, 2, 3, 7, 64, 129}
+	starts := []uint64{0, 1, 2, 3, 5, 8, 63, 64, 65, 1 << 20, 1<<20 + 1}
+	for _, key := range []uint64{11, 0xdeadbeef} {
+		for _, ctr := range []uint64{0, 4} {
+			sw := NewBlockSweep(key, ctr)
+			for _, n := range lengths {
+				dst := make([]float64, n)
+				sw.FillNorm(dst)
+				for i, got := range dst {
+					if want := sw.Norm(uint64(i)); got != want {
+						t.Fatalf("key=%d ctr=%d n=%d: FillNorm[%d] = %v, Norm = %v", key, ctr, n, i, got, want)
+					}
+				}
+				for _, start := range starts {
+					at := make([]float64, n)
+					sw.FillNormAt(at, start)
+					for i, got := range at {
+						if want := sw.Norm(start + uint64(i)); got != want {
+							t.Fatalf("key=%d ctr=%d n=%d start=%d: FillNormAt[%d] = %v, Norm = %v",
+								key, ctr, n, start, i, got, want)
+						}
+					}
+				}
 			}
 		}
 	}
+
+	// FillNormAt(dst, 0) must be byte-for-byte FillNorm(dst).
+	sw := NewBlockSweep(7, 9)
+	a, b := make([]float64, 129), make([]float64, 129)
+	sw.FillNorm(a)
+	sw.FillNormAt(b, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("FillNormAt(dst, 0)[%d] diverges from FillNorm", i)
+		}
+	}
+
+	// Splitting one logical fill at an arbitrary boundary — including
+	// odd splits that land mid-block — must reproduce the contiguous
+	// fill exactly: the pairing is anchored to absolute indices.
+	whole := make([]float64, 96)
+	sw.FillNormAt(whole, 17)
+	for _, cut := range []int{0, 1, 2, 31, 32, 33, 95, 96} {
+		split := make([]float64, 96)
+		sw.FillNormAt(split[:cut], 17)
+		sw.FillNormAt(split[cut:], 17+uint64(cut))
+		for i := range whole {
+			if split[i] != whole[i] {
+				t.Fatalf("cut=%d: split fill[%d] diverges from contiguous fill", cut, i)
+			}
+		}
+	}
+}
+
+// TestFillNormRowsMatchesScalar pins the multi-chain matrix fill to
+// per-row sweeps: row r of the matrix is exactly the dense fill of an
+// independent sweep keyed by keys[r] at the shared counter.
+func TestFillNormRowsMatchesScalar(t *testing.T) {
+	keys := []uint64{3, 0, 1 << 40, 3} // duplicate key: identical rows
+	const rowLen = 37
+	dst := make([]float64, len(keys)*rowLen)
+	FillNormRows(dst, keys, 12)
+	for r, key := range keys {
+		sw := NewBlockSweep(key, 12)
+		for j := 0; j < rowLen; j++ {
+			if got, want := dst[r*rowLen+j], sw.Norm(uint64(j)); got != want {
+				t.Fatalf("row %d col %d: FillNormRows = %v, Norm = %v", r, j, got, want)
+			}
+		}
+	}
+	if dst[0*rowLen] != dst[3*rowLen] {
+		t.Fatalf("duplicate keys produced distinct rows")
+	}
+	FillNormRows(nil, nil, 0) // no keys, no dst: a no-op, not a panic
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("FillNormRows accepted a dst not divisible by key count")
+		}
+	}()
+	FillNormRows(make([]float64, 5), []uint64{1, 2}, 0)
 }
 
 // TestBlockNormKeySeparation checks that distinct keys and counters give

@@ -172,13 +172,43 @@ func NewArray(cfg Config, src *rng.Source) *Array {
 		random:     make([]float64, n),
 		tempCoef:   make([]float64, n),
 	}
-	for i := 0; i < n; i++ {
-		x, y := a.Pos(i)
-		a.systematic[i] = cfg.systematicAt(x, y)
-		a.random[i] = src.NormScaled(0, cfg.ProcessSigmaMHz)
-		a.base[i] = cfg.NominalMHz + a.systematic[i] + a.random[i]
-		a.tempCoef[i] = src.NormScaled(cfg.TempCoefMeanMHzPerC, cfg.TempCoefSigmaMHzPerC)
+	cfg.manufactureInto(src, a.base, a.systematic, a.random, a.tempCoef)
+	return a
+}
+
+// manufactureInto draws one array instance's variability into
+// caller-owned component vectors (all of length Rows*Cols) — the single
+// manufacture loop shared by NewArray, Array.Remanufactured, and
+// fleet rows, so every construction path consumes src identically:
+// per oscillator, the random process component then the temperature
+// slope.
+func (c Config) manufactureInto(src *rng.Source, base, systematic, random, tempCoef []float64) {
+	for i := range base {
+		x, y := i%c.Cols, i/c.Cols
+		systematic[i] = c.systematicAt(x, y)
+		random[i] = src.NormScaled(0, c.ProcessSigmaMHz)
+		base[i] = c.NominalMHz + systematic[i] + random[i]
+		tempCoef[i] = src.NormScaled(c.TempCoefMeanMHzPerC, c.TempCoefSigmaMHzPerC)
 	}
+}
+
+// Remanufactured re-draws array a as a fresh instance of cfg from src,
+// reusing a's component buffers when the oscillator count is unchanged:
+// the device-pool path that turns per-seed manufacture from four slice
+// allocations into zero. The result is bit-identical to NewArray(cfg,
+// src) — same draw order, same arithmetic — and when the geometry
+// matches, the returned array IS a (pointer identity preserved for
+// scratch invalidation checks). A nil receiver or a size change falls
+// back to NewArray.
+func (a *Array) Remanufactured(cfg Config, src *rng.Source) *Array {
+	if a == nil || len(a.base) != cfg.Rows*cfg.Cols {
+		return NewArray(cfg, src)
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	a.cfg = cfg
+	cfg.manufactureInto(src, a.base, a.systematic, a.random, a.tempCoef)
 	return a
 }
 
@@ -376,6 +406,12 @@ func (bc *BaseCache) For(a *Array, env Environment) []float64 {
 	}
 	return bc.base
 }
+
+// Invalidate forces the next For to rebuild. Required when the array's
+// CONTENTS changed under the same pointer (Array.Remanufactured on the
+// device-pool path): For's env+length check cannot see a content
+// change, so the owner of the scratch must invalidate explicitly.
+func (bc *BaseCache) Invalidate() { bc.valid = false }
 
 // MeasureAveraged measures every oscillator `reps` times and returns the
 // per-oscillator means — the standard enrollment-time noise reduction.

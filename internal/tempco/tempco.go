@@ -356,6 +356,15 @@ type Scratch struct {
 // Invalidate drops the helper-derived caches.
 func (sc *Scratch) Invalidate() { sc.helperValid = false }
 
+// InvalidateSilicon additionally drops the caches derived from the
+// silicon array's contents (the noise-free frequency vectors). Required
+// on the device-pool path, where Array.Remanufactured changes the
+// array's contents under the same pointer; buffer capacity is kept.
+func (sc *Scratch) InvalidateSilicon() {
+	sc.helperValid = false
+	sc.bases.Invalidate()
+}
+
 // refresh (re)builds the helper-derived caches: validation, the subset
 // of oscillators the helper actually references (bad pairs contribute no
 // bits, so their oscillators are never measured — only their noise draws
